@@ -1,0 +1,301 @@
+package indexsel
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cophy"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/heuristics"
+	"repro/internal/whatif"
+)
+
+// Strategy identifies an index-selection algorithm.
+type Strategy int
+
+const (
+	// StrategyExtend is the paper's contribution: Algorithm 1 / H6, the
+	// recursive constructive selection.
+	StrategyExtend Strategy = iota + 1
+	// StrategyCoPhy solves the CoPhy integer linear program (5)-(8) over a
+	// candidate set (optimal for that set, up to the configured gap).
+	StrategyCoPhy
+	// StrategyH1 picks candidates by attribute-occurrence frequency.
+	StrategyH1
+	// StrategyH2 picks candidates by selectivity.
+	StrategyH2
+	// StrategyH3 picks candidates by selectivity-to-frequency ratio.
+	StrategyH3
+	// StrategyH4 picks candidates by absolute benefit (MS SQL Server style).
+	StrategyH4
+	// StrategyH5 picks candidates by benefit per size (DB2 Advisor style).
+	StrategyH5
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyExtend:
+		return "Extend(H6)"
+	case StrategyCoPhy:
+		return "CoPhy"
+	case StrategyH1:
+		return "H1"
+	case StrategyH2:
+		return "H2"
+	case StrategyH3:
+		return "H3"
+	case StrategyH4:
+		return "H4"
+	case StrategyH5:
+		return "H5"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Advisor computes index selections for one workload under one cost source.
+type Advisor struct {
+	w   *Workload
+	opt *whatif.Optimizer
+
+	budgetBytes int64
+	budgetShare float64
+	mode        CostMode
+	measured    *MeasuredSource
+
+	candidates []Index
+	gap        float64
+	timeLimit  time.Duration
+	skyline    bool
+	dominance  bool
+	extendOpts core.Options
+
+	model *costmodel.Model // nil when measured
+}
+
+// Option configures an Advisor.
+type Option func(*Advisor)
+
+// WithBudgetBytes sets the memory budget A in bytes.
+func WithBudgetBytes(a int64) Option { return func(ad *Advisor) { ad.budgetBytes = a } }
+
+// WithBudgetShare sets the budget as the share w of the total memory of all
+// single-attribute indexes, A(w) of eq. (10). Default 0.2.
+func WithBudgetShare(share float64) Option { return func(ad *Advisor) { ad.budgetShare = share } }
+
+// WithCostMode selects the analytic cost model's index-combination mode.
+func WithCostMode(m CostMode) Option { return func(ad *Advisor) { ad.mode = m } }
+
+// WithMeasuredSource serves costs from engine execution instead of the
+// analytic model (the end-to-end methodology of Section IV-B).
+func WithMeasuredSource(ms *MeasuredSource) Option { return func(ad *Advisor) { ad.measured = ms } }
+
+// WithCandidates fixes the candidate set used by the candidate-based
+// strategies (CoPhy, H1-H5). Without it, all candidates up to width 4 are
+// enumerated on demand.
+func WithCandidates(cands []Index) Option { return func(ad *Advisor) { ad.candidates = cands } }
+
+// WithGap sets the CoPhy solver's relative optimality gap (default 0).
+func WithGap(gap float64) Option { return func(ad *Advisor) { ad.gap = gap } }
+
+// WithTimeLimit bounds CoPhy's solving time; on expiry the best incumbent is
+// returned and Recommendation.DNF is set.
+func WithTimeLimit(d time.Duration) Option { return func(ad *Advisor) { ad.timeLimit = d } }
+
+// WithSkyline applies the per-query dominance pre-filter for StrategyH4.
+func WithSkyline() Option { return func(ad *Advisor) { ad.skyline = true } }
+
+// WithDominanceReduction lets the CoPhy solver drop globally dominated
+// candidates before solving — the optimum is unchanged, the search smaller.
+func WithDominanceReduction() Option { return func(ad *Advisor) { ad.dominance = true } }
+
+// WithExtendOptions overrides Algorithm 1's knobs (Remark 1 extensions).
+// Budget is still controlled by the advisor's budget options.
+func WithExtendOptions(opts core.Options) Option {
+	return func(ad *Advisor) { ad.extendOpts = opts }
+}
+
+// NewAdvisor builds an advisor for the workload.
+func NewAdvisor(w *Workload, opts ...Option) *Advisor {
+	ad := &Advisor{w: w, budgetShare: 0.2, mode: SingleIndexCosts}
+	for _, o := range opts {
+		o(ad)
+	}
+	if ad.measured != nil {
+		ad.opt = whatif.New(ad.measured)
+	} else {
+		ad.model = costmodel.New(w, ad.mode)
+		ad.opt = whatif.New(ad.model)
+	}
+	return ad
+}
+
+// Budget returns the advisor's effective memory budget in bytes.
+func (ad *Advisor) Budget() int64 {
+	if ad.budgetBytes > 0 {
+		return ad.budgetBytes
+	}
+	if ad.measured != nil {
+		return ad.measured.Budget(ad.budgetShare)
+	}
+	return ad.model.Budget(ad.budgetShare)
+}
+
+// WhatIfStats returns the accumulated what-if optimizer call counters.
+func (ad *Advisor) WhatIfStats() WhatIfStats { return ad.opt.Stats() }
+
+// Recommendation is a strategy's outcome.
+type Recommendation struct {
+	// Strategy that produced the recommendation.
+	Strategy Strategy
+	// Indexes is the selected configuration, deterministically ordered.
+	Indexes []Index
+	// Cost is the workload cost F(I*) under the advisor's cost source;
+	// BaseCost is F(∅).
+	Cost, BaseCost float64
+	// Memory is P(I*); Budget the budget it was computed for.
+	Memory, Budget int64
+	// Elapsed is the selection's solve time (excluding what-if calls made
+	// through the shared cache).
+	Elapsed time.Duration
+	// Steps is Algorithm 1's construction trace (StrategyExtend only).
+	Steps []ConstructionStep
+	// DNF reports a CoPhy solve aborted by the time limit.
+	DNF bool
+	// Gap is CoPhy's final relative optimality gap.
+	Gap float64
+
+	selection Selection
+}
+
+// Selection returns the recommendation as a Selection set.
+func (r *Recommendation) Selection() Selection { return r.selection.Clone() }
+
+// Improvement returns the relative cost reduction versus no indexes,
+// in [0, 1].
+func (r *Recommendation) Improvement() float64 {
+	if r.BaseCost <= 0 {
+		return 0
+	}
+	return (r.BaseCost - r.Cost) / r.BaseCost
+}
+
+// Frontier returns the (memory, cost) trace points (StrategyExtend only).
+func (r *Recommendation) Frontier() []FrontierPoint {
+	pts := make([]FrontierPoint, 0, len(r.Steps)+1)
+	pts = append(pts, FrontierPoint{Memory: 0, Cost: r.BaseCost})
+	for _, s := range r.Steps {
+		pts = append(pts, FrontierPoint{Memory: s.MemAfter, Cost: s.CostAfter})
+	}
+	return pts
+}
+
+// Select runs the strategy and returns its recommendation.
+func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
+	budget := ad.Budget()
+	if budget <= 0 {
+		return nil, fmt.Errorf("indexsel: budget must be positive (got %d)", budget)
+	}
+	start := time.Now()
+	rec := &Recommendation{Strategy: s, Budget: budget}
+
+	switch s {
+	case StrategyExtend:
+		opts := ad.extendOpts
+		opts.Budget = budget
+		if ad.measured != nil {
+			opts.ExactEvaluation = true
+		}
+		if ad.model != nil && ad.mode == MultiIndexCosts {
+			// The multi-index cost model is context-dependent; Algorithm 1
+			// must evaluate whole selections (Remark 2) to stay consistent.
+			opts.MultiIndex = true
+		}
+		res, err := core.Select(ad.w, ad.opt, opts)
+		if err != nil {
+			return nil, err
+		}
+		rec.Indexes = res.Selection.Sorted()
+		rec.selection = res.Selection
+		rec.Cost = res.Cost
+		rec.BaseCost = res.InitialCost
+		rec.Memory = res.Memory
+		rec.Steps = res.Steps
+
+	case StrategyCoPhy:
+		cands, err := ad.candidateSet()
+		if err != nil {
+			return nil, err
+		}
+		res, err := cophy.Solve(ad.w, ad.opt, cands, cophy.Options{
+			Budget:             budget,
+			Gap:                ad.gap,
+			TimeLimit:          ad.timeLimit,
+			DominanceReduction: ad.dominance,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec.Indexes = res.Selection.Sorted()
+		rec.selection = res.Selection
+		rec.Cost = res.Cost
+		rec.BaseCost = ad.baseCost()
+		rec.Memory = res.Memory
+		rec.DNF = res.Stats.DNF
+		rec.Gap = res.Stats.Gap
+
+	case StrategyH1, StrategyH2, StrategyH3, StrategyH4, StrategyH5:
+		cands, err := ad.candidateSet()
+		if err != nil {
+			return nil, err
+		}
+		rule := map[Strategy]heuristics.Rule{
+			StrategyH1: heuristics.H1, StrategyH2: heuristics.H2,
+			StrategyH3: heuristics.H3, StrategyH4: heuristics.H4,
+			StrategyH5: heuristics.H5,
+		}[s]
+		res, err := heuristics.Select(ad.w, ad.opt, cands, rule, heuristics.Options{
+			Budget:  budget,
+			Skyline: ad.skyline && s == StrategyH4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rec.Indexes = res.Selection.Sorted()
+		rec.selection = res.Selection
+		rec.Cost = res.Cost
+		rec.BaseCost = ad.baseCost()
+		rec.Memory = res.Memory
+
+	default:
+		return nil, fmt.Errorf("indexsel: unknown strategy %d", int(s))
+	}
+	rec.Elapsed = time.Since(start)
+	return rec, nil
+}
+
+func (ad *Advisor) candidateSet() ([]Index, error) {
+	if ad.candidates != nil {
+		return ad.candidates, nil
+	}
+	return AllCandidates(ad.w, 4)
+}
+
+func (ad *Advisor) baseCost() float64 {
+	var total float64
+	for _, q := range ad.w.Queries {
+		total += float64(q.Freq) * ad.opt.BaseCost(q)
+	}
+	return total
+}
+
+// Evaluate returns the workload cost of an arbitrary selection under the
+// advisor's cost source (single-index setting) and its memory footprint.
+func (ad *Advisor) Evaluate(sel Selection) (cost float64, memory int64) {
+	cost = heuristics.TotalCost(ad.w, ad.opt, sel)
+	for _, k := range sel {
+		memory += ad.opt.IndexSize(k)
+	}
+	return cost, memory
+}

@@ -1,0 +1,53 @@
+// Command experiments regenerates the paper's evaluation artifacts —
+// Table I, Figures 1-6, and the Section III-A what-if call accounting —
+// printing aligned result tables and optionally CSV files.
+//
+// Usage:
+//
+//	experiments -run all -scale 0.25 -out results/
+//	experiments -run table1 -scale 1 -timelimit 60s
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run       = flag.String("run", "all", "experiment to run (see -list)")
+		list      = flag.Bool("list", false, "list available experiments")
+		scale     = flag.Float64("scale", 0.25, "workload scale in (0,1]; 1 = paper parameters")
+		outDir    = flag.String("out", "", "directory for CSV output (optional)")
+		timeLimit = flag.Duration("timelimit", 20*time.Second, "CoPhy solver DNF cutoff")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("  %-8s %s\n", r.Name, r.Desc)
+		}
+		return
+	}
+	cfg := experiments.Config{
+		Out:             os.Stdout,
+		OutDir:          *outDir,
+		Scale:           *scale,
+		SolverTimeLimit: *timeLimit,
+		Seed:            *seed,
+	}
+	start := time.Now()
+	if err := experiments.Run(*run, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,155 @@
+// Command indexadvisor recommends a multi-attribute index configuration for
+// a workload described in the JSON interchange format (see cmd/workloadgen
+// to produce one).
+//
+// Usage:
+//
+//	indexadvisor -workload w.json -budget-share 0.2
+//	indexadvisor -workload w.json -strategy cophy -candidates 1000 -gap 0.05
+//	indexadvisor -workload w.json -strategy h5 -budget-bytes 100000000
+//
+// The default strategy is the paper's recursive Extend algorithm (H6).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	indexsel "repro"
+)
+
+var strategies = map[string]indexsel.Strategy{
+	"extend": indexsel.StrategyExtend,
+	"cophy":  indexsel.StrategyCoPhy,
+	"h1":     indexsel.StrategyH1,
+	"h2":     indexsel.StrategyH2,
+	"h3":     indexsel.StrategyH3,
+	"h4":     indexsel.StrategyH4,
+	"h5":     indexsel.StrategyH5,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexadvisor: ")
+	var (
+		path        = flag.String("workload", "", "workload JSON file (- for stdin); or use -sql")
+		sqlPath     = flag.String("sql", "", "schema + query log in SQL (- for stdin); alternative to -workload")
+		strategy    = flag.String("strategy", "extend", "extend | cophy | h1..h5")
+		budgetShare = flag.Float64("budget-share", 0.2, "budget as share of all single-attribute index memory")
+		budgetBytes = flag.Int64("budget-bytes", 0, "absolute budget in bytes (overrides -budget-share)")
+		numCands    = flag.Int("candidates", 0, "candidate-set size for cophy/h1..h5 (0 = all)")
+		gap         = flag.Float64("gap", 0.05, "cophy optimality gap")
+		timeLimit   = flag.Duration("timelimit", time.Minute, "cophy time limit")
+		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
+	)
+	flag.Parse()
+	if (*path == "") == (*sqlPath == "") {
+		fmt.Fprintln(os.Stderr, "indexadvisor: exactly one of -workload or -sql is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	open := func(p string) *os.File {
+		if p == "-" {
+			return os.Stdin
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f
+	}
+	var (
+		w   *indexsel.Workload
+		err error
+	)
+	if *sqlPath != "" {
+		in := open(*sqlPath)
+		defer in.Close()
+		w, err = indexsel.ParseSQL(in)
+	} else {
+		in := open(*path)
+		defer in.Close()
+		w, err = indexsel.ReadWorkload(in)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	strat, ok := strategies[strings.ToLower(*strategy)]
+	if !ok {
+		log.Fatalf("unknown strategy %q (want extend, cophy, h1..h5)", *strategy)
+	}
+
+	opts := []indexsel.Option{
+		indexsel.WithGap(*gap),
+		indexsel.WithTimeLimit(*timeLimit),
+		indexsel.WithDominanceReduction(),
+	}
+	if *budgetBytes > 0 {
+		opts = append(opts, indexsel.WithBudgetBytes(*budgetBytes))
+	} else {
+		opts = append(opts, indexsel.WithBudgetShare(*budgetShare))
+	}
+	if *numCands > 0 {
+		cands, err := indexsel.CandidateSet(w, indexsel.CandidatesByFrequency, *numCands, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, indexsel.WithCandidates(cands))
+	}
+
+	adv := indexsel.NewAdvisor(w, opts...)
+	rec, err := adv.Select(strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strategy:    %v\n", rec.Strategy)
+	fmt.Printf("budget:      %d bytes\n", rec.Budget)
+	fmt.Printf("memory used: %d bytes (%.1f%%)\n", rec.Memory, 100*float64(rec.Memory)/float64(rec.Budget))
+	fmt.Printf("cost:        %.6g -> %.6g  (%.2f%% improvement)\n", rec.BaseCost, rec.Cost, 100*rec.Improvement())
+	fmt.Printf("solve time:  %v", rec.Elapsed.Round(time.Millisecond))
+	if rec.DNF {
+		fmt.Printf("  [DNF — best incumbent returned]")
+	}
+	fmt.Println()
+
+	if *showSteps && len(rec.Steps) > 0 {
+		fmt.Println("\nconstruction trace:")
+		for i, s := range rec.Steps {
+			from := ""
+			if s.Replaced != nil {
+				from = fmt.Sprintf(" (extends %s)", describe(w, *s.Replaced))
+			}
+			fmt.Printf("  %3d. %-7s %s%s  ratio=%.4g\n", i+1, s.Kind, describe(w, s.Index), from, s.Ratio)
+		}
+	}
+
+	fmt.Println("\nrecommended indexes:")
+	for _, ix := range rec.Indexes {
+		fmt.Printf("  CREATE INDEX ON %s;\n", describe(w, ix))
+	}
+}
+
+func describe(w *indexsel.Workload, ix indexsel.Index) string {
+	var b strings.Builder
+	b.WriteString(w.Tables[ix.Table].Name)
+	b.WriteString(" (")
+	for i, a := range ix.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		name := w.Attr(a).Name
+		if dot := strings.IndexByte(name, '.'); dot >= 0 {
+			name = name[dot+1:]
+		}
+		b.WriteString(name)
+	}
+	b.WriteString(")")
+	return b.String()
+}

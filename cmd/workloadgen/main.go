@@ -1,0 +1,79 @@
+// Command workloadgen emits workloads in the JSON interchange format
+// consumed by cmd/indexadvisor.
+//
+// Usage:
+//
+//	workloadgen -kind synthetic -tables 10 -attrs 50 -queries 50 > w.json
+//	workloadgen -kind tpcc -warehouses 100 > tpcc.json
+//	workloadgen -kind erp -scale 0.2 > erp.json
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	indexsel "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("workloadgen: ")
+	var (
+		kind       = flag.String("kind", "synthetic", "synthetic | tpcc | erp")
+		tables     = flag.Int("tables", 10, "synthetic: number of tables")
+		attrs      = flag.Int("attrs", 50, "synthetic: attributes per table")
+		queries    = flag.Int("queries", 50, "synthetic: query templates per table")
+		rows       = flag.Int64("rows", 1_000_000, "synthetic: base rows (table t has t*rows)")
+		warehouses = flag.Int64("warehouses", 100, "tpcc: warehouse count")
+		scale      = flag.Float64("scale", 1.0, "erp: scale factor in (0,1]")
+		seed       = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	var (
+		w   *indexsel.Workload
+		err error
+	)
+	switch *kind {
+	case "synthetic":
+		cfg := indexsel.DefaultGenConfig()
+		cfg.Tables = *tables
+		cfg.AttrsPerTable = *attrs
+		cfg.QueriesPerTable = *queries
+		cfg.RowsBase = *rows
+		cfg.Seed = *seed
+		w, err = indexsel.GenerateWorkload(cfg)
+	case "tpcc":
+		w, err = indexsel.TPCCWorkload(*warehouses)
+	case "erp":
+		cfg := indexsel.DefaultERPConfig()
+		cfg.Seed = *seed
+		if *scale < 1 {
+			cfg.Tables = scaleInt(cfg.Tables, *scale, 10)
+			cfg.TotalAttrs = scaleInt(cfg.TotalAttrs, *scale, 100)
+			cfg.Queries = scaleInt(cfg.Queries, *scale, 50)
+			cfg.MaxRows = int64(float64(cfg.MaxRows) * *scale)
+			if cfg.MaxRows < cfg.MinRows {
+				cfg.MinRows = cfg.MaxRows / 4
+			}
+		}
+		w, err = indexsel.GenerateERPWorkload(cfg)
+	default:
+		log.Fatalf("unknown kind %q (want synthetic, tpcc, erp)", *kind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := indexsel.WriteWorkload(os.Stdout, w); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func scaleInt(n int, scale float64, min int) int {
+	v := int(float64(n) * scale)
+	if v < min {
+		v = min
+	}
+	return v
+}

@@ -1,0 +1,75 @@
+// TPC-C walkthrough of the paper's Figure 1: run Algorithm 1 on the ten
+// aggregated TPC-C query templates and print every construction step — new
+// single-attribute indexes and "morphing" extensions like appending ORD.ID
+// to the (ORD.W_ID, ORD.D_ID) index — together with which queries each
+// resulting index can cover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	indexsel "repro"
+)
+
+func main() {
+	w, err := indexsel.TPCCWorkload(100) // 100 warehouses
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("TPC-C aggregated conjunctive templates (cf. Figure 1):")
+	for _, q := range w.Queries {
+		fmt.Printf("  q%-2d freq %4d  %s\n", q.ID+1, q.Freq, attrNames(w, q.Attrs))
+	}
+
+	adv := indexsel.NewAdvisor(w,
+		indexsel.WithBudgetShare(0.9),
+		indexsel.WithExtendOptions(indexsel.ExtendOptions{MaxSteps: 17, TrackSecondBest: true}),
+	)
+	rec, err := adv.Select(indexsel.StrategyExtend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nconstruction steps (budget %.1f MB):\n", float64(rec.Budget)/1e6)
+	for i, s := range rec.Steps {
+		switch {
+		case s.Replaced != nil:
+			fmt.Printf("  step %2d: extend %s -> %s", i+1, describe(w, *s.Replaced), describe(w, s.Index))
+		default:
+			fmt.Printf("  step %2d: new index %s", i+1, describe(w, s.Index))
+		}
+		fmt.Printf("   Δcost/Δmem=%.4g\n", s.Ratio)
+		if s.RunnerUp != nil {
+			fmt.Printf("           (runner-up: %s, ratio %.4g)\n", describe(w, s.RunnerUp.Index), s.RunnerUp.Ratio)
+		}
+	}
+
+	fmt.Println("\nfinal indexes and the queries they can serve:")
+	for _, ix := range rec.Indexes {
+		fmt.Printf("  %s\n", describe(w, ix))
+		for _, q := range w.Queries {
+			if q.Table == ix.Table && q.Accesses(ix.Attrs[0]) {
+				fmt.Printf("      covers q%-2d %s\n", q.ID+1, attrNames(w, q.Attrs))
+			}
+		}
+	}
+	fmt.Printf("\nworkload cost %.4g -> %.4g (%.1f%% improvement), memory %.1f MB\n",
+		rec.BaseCost, rec.Cost, 100*rec.Improvement(), float64(rec.Memory)/1e6)
+}
+
+func describe(w *indexsel.Workload, ix indexsel.Index) string {
+	return w.Tables[ix.Table].Name + "(" + attrNames(w, ix.Attrs) + ")"
+}
+
+func attrNames(w *indexsel.Workload, attrs []int) string {
+	out := ""
+	for i, a := range attrs {
+		if i > 0 {
+			out += ", "
+		}
+		out += w.Attr(a).Name
+	}
+	return out
+}

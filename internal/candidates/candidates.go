@@ -1,0 +1,264 @@
+// Package candidates enumerates multi-attribute index candidates and
+// implements the paper's candidate-set heuristics H1-M, H2-M, H3-M
+// (Example 1 (iv)). Candidates are derived from attribute combinations that
+// co-occur in at least one workload query — combinations never accessed
+// together cannot help any query, so this universe is exactly the paper's
+// I_max of "all potential indexes".
+package candidates
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// MaxWidth is the paper's candidate width bound: heuristics build candidates
+// of m = 1..4 attributes (Example 1 (iv)).
+const MaxWidth = 4
+
+// Combo is an unordered attribute combination co-occurring in the workload.
+type Combo struct {
+	// Attrs is the sorted set of global attribute IDs (single table).
+	Attrs []int
+	// Table is the owning table.
+	Table int
+	// Weight is the frequency-weighted number of co-occurrences,
+	// sum of b_j over queries j with Attrs ⊆ q_j (cf. H1-M).
+	Weight int64
+	// Selectivity is the combined selectivity prod s_i (cf. H2-M).
+	Selectivity float64
+}
+
+type comboKey [MaxWidth]int32
+
+func keyOf(attrs []int) comboKey {
+	var k comboKey
+	for i := range k {
+		k[i] = -1
+	}
+	for i, a := range attrs {
+		k[i] = int32(a)
+	}
+	return k
+}
+
+// Combos enumerates every attribute combination of size 1..maxWidth that
+// appears (as a subset) in at least one query, with its co-occurrence weight.
+// The result is ordered deterministically (by table, width, then attribute
+// IDs). maxWidth must be in [1, MaxWidth].
+func Combos(w *workload.Workload, maxWidth int) ([]Combo, error) {
+	if maxWidth < 1 || maxWidth > MaxWidth {
+		return nil, fmt.Errorf("candidates: maxWidth %d out of range [1,%d]", maxWidth, MaxWidth)
+	}
+	weights := make(map[comboKey]int64)
+	var buf [MaxWidth]int
+	for _, q := range w.Queries {
+		attrs := q.Attrs // sorted by workload.New
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			for i := start; i < len(attrs); i++ {
+				buf[depth] = attrs[i]
+				weights[keyOf(buf[:depth+1])] += q.Freq
+				if depth+1 < maxWidth {
+					rec(i+1, depth+1)
+				}
+			}
+		}
+		rec(0, 0)
+	}
+
+	combos := make([]Combo, 0, len(weights))
+	for key, weight := range weights {
+		var attrs []int
+		for _, a := range key {
+			if a >= 0 {
+				attrs = append(attrs, int(a))
+			}
+		}
+		s := 1.0
+		for _, a := range attrs {
+			s *= w.Attr(a).Selectivity()
+		}
+		combos = append(combos, Combo{
+			Attrs:       attrs,
+			Table:       w.TableOf(attrs[0]),
+			Weight:      weight,
+			Selectivity: s,
+		})
+	}
+	sort.Slice(combos, func(i, j int) bool { return comboLess(combos[i], combos[j]) })
+	return combos, nil
+}
+
+func comboLess(a, b Combo) bool {
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return len(a.Attrs) < len(b.Attrs)
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return a.Attrs[i] < b.Attrs[i]
+		}
+	}
+	return false
+}
+
+// CountPermutations returns |IC_max|: the number of distinct ordered index
+// candidates over the given combinations (each width-m combination yields m!
+// permutations; distinct combinations never share a permutation).
+func CountPermutations(combos []Combo) int64 {
+	fact := [MaxWidth + 1]int64{1, 1, 2, 6, 24}
+	var total int64
+	for _, c := range combos {
+		total += fact[len(c.Attrs)]
+	}
+	return total
+}
+
+// Permutations materializes the full candidate set I_max: every ordering of
+// every combination. Use only when CountPermutations is tractable.
+func Permutations(combos []Combo) []workload.Index {
+	var out []workload.Index
+	for _, c := range combos {
+		permute(c.Attrs, func(p []int) {
+			out = append(out, workload.Index{Table: c.Table, Attrs: append([]int(nil), p...)})
+		})
+	}
+	return out
+}
+
+// permute calls f with every permutation of attrs (Heap's algorithm; f must
+// copy if it retains the slice).
+func permute(attrs []int, f func([]int)) {
+	p := append([]int(nil), attrs...)
+	var rec func(n int)
+	rec = func(n int) {
+		if n == 1 {
+			f(p)
+			return
+		}
+		for i := 0; i < n-1; i++ {
+			rec(n - 1)
+			if n%2 == 0 {
+				p[i], p[n-1] = p[n-1], p[i]
+			} else {
+				p[0], p[n-1] = p[n-1], p[0]
+			}
+		}
+		rec(n - 1)
+	}
+	rec(len(p))
+}
+
+// Representative returns the combination's representative ordering: key
+// attributes sorted by descending occurrence frequency g_i (most widely
+// shared leading attribute first, maximizing applicability to partial
+// queries), ties broken by ascending selectivity then attribute ID. This is
+// the paper's "presumably best representative" substitution (Section IV-B).
+func Representative(c Combo, g []int64, w *workload.Workload) workload.Index {
+	attrs := append([]int(nil), c.Attrs...)
+	sort.Slice(attrs, func(i, j int) bool {
+		ai, aj := attrs[i], attrs[j]
+		if g[ai] != g[aj] {
+			return g[ai] > g[aj]
+		}
+		si, sj := w.Attr(ai).Selectivity(), w.Attr(aj).Selectivity()
+		if si != sj {
+			return si < sj
+		}
+		return ai < aj
+	})
+	return workload.Index{Table: c.Table, Attrs: attrs}
+}
+
+// Representatives returns one representative index per combination.
+func Representatives(w *workload.Workload, combos []Combo) []workload.Index {
+	g := w.Occurrences()
+	out := make([]workload.Index, len(combos))
+	for i, c := range combos {
+		out[i] = Representative(c, g, w)
+	}
+	return out
+}
+
+// Heuristic identifies a candidate-set heuristic of Example 1 (iv).
+type Heuristic int
+
+const (
+	// H1M ranks width-m combinations by descending co-occurrence frequency.
+	H1M Heuristic = iota + 1
+	// H2M ranks by ascending combined selectivity.
+	H2M
+	// H3M ranks by ascending ratio of combined selectivity to co-occurrence
+	// frequency.
+	H3M
+)
+
+func (h Heuristic) String() string {
+	switch h {
+	case H1M:
+		return "H1-M"
+	case H2M:
+		return "H2-M"
+	case H3M:
+		return "H3-M"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Select applies heuristic h to pick approximately total candidates:
+// for each width m = 1..maxWidth it takes the top total/maxWidth
+// combinations under the heuristic's ranking and emits their representative
+// orderings (Example 1: "For M index candidates, let h := M/4 for each
+// m = 1,...,4"). Fewer candidates are returned when a width class is
+// exhausted.
+func Select(w *workload.Workload, combos []Combo, h Heuristic, total, maxWidth int) ([]workload.Index, error) {
+	if total < maxWidth {
+		return nil, fmt.Errorf("candidates: total %d below one candidate per width class (maxWidth %d)", total, maxWidth)
+	}
+	perWidth := total / maxWidth
+	g := w.Occurrences()
+
+	byWidth := make([][]Combo, maxWidth+1)
+	for _, c := range combos {
+		if m := len(c.Attrs); m <= maxWidth {
+			byWidth[m] = append(byWidth[m], c)
+		}
+	}
+	var out []workload.Index
+	for m := 1; m <= maxWidth; m++ {
+		class := byWidth[m]
+		sort.Slice(class, func(i, j int) bool {
+			a, b := class[i], class[j]
+			var less, eq bool
+			switch h {
+			case H1M:
+				less, eq = a.Weight > b.Weight, a.Weight == b.Weight
+			case H2M:
+				less, eq = a.Selectivity < b.Selectivity, a.Selectivity == b.Selectivity
+			case H3M:
+				ra := a.Selectivity / float64(a.Weight)
+				rb := b.Selectivity / float64(b.Weight)
+				less, eq = ra < rb, ra == rb
+			default:
+				eq = true
+			}
+			if !eq {
+				return less
+			}
+			return comboLess(a, b)
+		})
+		n := perWidth
+		if n > len(class) {
+			n = len(class)
+		}
+		for _, c := range class[:n] {
+			out = append(out, Representative(c, g, w))
+		}
+	}
+	return out, nil
+}

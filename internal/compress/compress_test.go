@@ -1,0 +1,148 @@
+package compress
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func gen(t *testing.T) (*workload.Workload, *costmodel.Model, *whatif.Optimizer) {
+	t.Helper()
+	cfg := workload.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 3, 15, 60
+	cfg.RowsBase = 100_000
+	w := workload.MustGenerate(cfg)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	return w, m, whatif.New(m)
+}
+
+func TestTopKKeepsMostExpensive(t *testing.T) {
+	w, m, opt := gen(t)
+	cw, stats, err := TopK(w, opt, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.NumQueries() != 30 || stats.KeptTemplates != 30 || stats.TotalTemplates != w.NumQueries() {
+		t.Fatalf("stats = %+v, queries = %d", stats, cw.NumQueries())
+	}
+	// Every kept template must cost at least as much as every dropped one.
+	minKept := -1.0
+	costOf := func(q workload.Query) float64 { return float64(q.Freq) * m.BaseCost(q) }
+	keptIDs := map[string]bool{}
+	for _, q := range cw.Queries {
+		c := costOf(q)
+		if minKept < 0 || c < minKept {
+			minKept = c
+		}
+		keptIDs[keyOf(q)] = true
+	}
+	for _, q := range w.Queries {
+		if keptIDs[keyOf(q)] {
+			continue
+		}
+		if costOf(q) > minKept+1e-9 {
+			t.Fatalf("dropped template costs %v > cheapest kept %v", costOf(q), minKept)
+		}
+	}
+	// Schema preserved, IDs dense.
+	if cw.NumAttrs() != w.NumAttrs() || len(cw.Tables) != len(w.Tables) {
+		t.Error("compression changed the schema")
+	}
+	for i, q := range cw.Queries {
+		if q.ID != i {
+			t.Errorf("query ID %d at position %d", q.ID, i)
+		}
+	}
+}
+
+func keyOf(q workload.Query) string {
+	s := ""
+	for _, a := range q.Attrs {
+		s += string(rune('A' + a%26))
+		s += string(rune('0' + (a/26)%10))
+	}
+	return s + ":" + string(rune('0'+q.Table)) + ":" + string(rune('0'+int(q.Kind)))
+}
+
+func TestByCoverageHitsBound(t *testing.T) {
+	w, _, opt := gen(t)
+	for _, eps := range []float64{0.01, 0.1, 0.3} {
+		cw, stats, err := ByCoverage(w, opt, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Coverage < 1-eps-1e-9 {
+			t.Errorf("eps %v: coverage %v below bound", eps, stats.Coverage)
+		}
+		if cw.NumQueries() >= w.NumQueries() && eps > 0.05 {
+			t.Errorf("eps %v: no compression achieved", eps)
+		}
+	}
+	// eps=0 keeps everything with positive cost.
+	cw, stats, err := ByCoverage(w, opt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Coverage < 1-1e-9 {
+		t.Errorf("eps 0 coverage %v", stats.Coverage)
+	}
+	_ = cw
+}
+
+func TestValidation(t *testing.T) {
+	w, _, opt := gen(t)
+	if _, _, err := TopK(w, opt, 0); err == nil {
+		t.Error("TopK(0) accepted")
+	}
+	if _, _, err := ByCoverage(w, opt, 1.0); err == nil {
+		t.Error("ByCoverage(1.0) accepted")
+	}
+	if _, _, err := ByCoverage(w, opt, -0.1); err == nil {
+		t.Error("ByCoverage(-0.1) accepted")
+	}
+	// Oversized k degrades to a copy.
+	cw, stats, err := TopK(w, opt, 10*w.NumQueries())
+	if err != nil || cw.NumQueries() != w.NumQueries() || stats.Coverage < 1-1e-9 {
+		t.Errorf("oversized k: %v, %d queries, %+v", err, cw.NumQueries(), stats)
+	}
+}
+
+// TestSelectionOnCompressedWorkloadStaysGood is the point of the technique:
+// tune on the compressed workload, evaluate on the full one — the quality
+// loss stays within a few times the coverage error.
+func TestSelectionOnCompressedWorkloadStaysGood(t *testing.T) {
+	w, m, opt := gen(t)
+	budget := m.Budget(0.3)
+
+	full, err := core.Select(w, opt, core.Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cw, stats, err := ByCoverage(w, opt, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.KeptTemplates >= stats.TotalTemplates {
+		t.Skip("workload too uniform to compress")
+	}
+	mc := costmodel.New(cw, costmodel.SingleIndex)
+	comp, err := core.Select(cw, whatif.New(mc), core.Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the compressed selection on the FULL workload.
+	compCostOnFull := m.TotalCost(comp.Selection)
+	base := m.TotalCost(workload.NewSelection())
+	fullImp := (base - full.Cost) / base
+	compImp := (base - compCostOnFull) / base
+	if compImp < fullImp-0.15 {
+		t.Errorf("compressed tuning lost too much: improvement %.3f vs full %.3f (coverage %.3f, kept %d/%d)",
+			compImp, fullImp, stats.Coverage, stats.KeptTemplates, stats.TotalTemplates)
+	}
+	t.Logf("kept %d/%d templates (%.1f%% cost coverage): improvement %.4f vs full-tuning %.4f",
+		stats.KeptTemplates, stats.TotalTemplates, 100*stats.Coverage, compImp, fullImp)
+}

@@ -1,0 +1,301 @@
+package cophy
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+)
+
+// solveCombinatorial runs a depth-first branch and bound directly over the
+// x_k variables, exploiting that for fixed x the optimal z assignment is
+// "each query takes its cheapest selected applicable index". It is used when
+// the explicit LP would be impractically large.
+//
+// Bound: the maximum of two valid lower bounds. (1) Knapsack: cost(S) minus
+// the fractional-knapsack optimum over the remaining candidates' root
+// benefits (each candidate's total improvement over the BASE costs, an upper
+// bound on its marginal gain in any context — a query's improvement under a
+// set of indexes never exceeds the sum of the individual improvements).
+// (2) Memory-relaxed: sum_j b_j * min(cur_j, best_j), where best_j is query
+// j's cheapest cost under ANY candidate — no budget can beat it.
+func (ins *instance) solveCombinatorial(budget int64, gap float64, deadline time.Time) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool) {
+	// Usable candidates in descending root-density order.
+	type ordered struct {
+		ci      int
+		ben     float64
+		size    int64
+		density float64
+	}
+	var order []ordered
+	for ci := range ins.cands {
+		info := &ins.cands[ci]
+		if len(info.queries) == 0 || info.size > budget {
+			continue
+		}
+		var ben float64
+		for _, a := range info.queries {
+			ben += ins.freq[a.other] * (ins.base[a.other] - a.cost)
+		}
+		ben -= info.writeCost // net of maintenance: an upper bound on any marginal net gain
+		if ben <= 0 {
+			continue
+		}
+		order = append(order, ordered{ci, ben, info.size, ben / float64(info.size)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].density != order[j].density {
+			return order[i].density > order[j].density
+		}
+		return ins.cands[order[i].ci].index.Key() < ins.cands[order[j].ci].index.Key()
+	})
+
+	baseTotal := ins.baseTotal()
+	if len(order) == 0 {
+		return nil, baseTotal, 0, 0, false
+	}
+
+	greedy, gcost := ins.greedy(budget)
+	bestChosen := append([]int(nil), greedy...)
+	bestCost := gcost
+	cur := make([]float64, len(ins.base))
+
+	// bestPossible[j]: query j's cheapest cost under any usable candidate.
+	bestPossible := append([]float64(nil), ins.base...)
+	for _, o := range order {
+		for _, a := range ins.cands[o.ci].queries {
+			if a.cost < bestPossible[a.other] {
+				bestPossible[a.other] = a.cost
+			}
+		}
+	}
+
+	// DFS state: per-query current cost with an undo log per depth.
+	// relaxedLB = sum_j b_j * min(cur_j, bestPossible_j) is maintained
+	// incrementally: it only changes when cur_j drops below bestPossible_j,
+	// which cannot happen (bestPossible is the floor), so it is constant —
+	// the memory-relaxed bound of the WHOLE search. Per-node tightening
+	// comes from the knapsack term.
+	var relaxedLB float64
+	for j := range ins.base {
+		relaxedLB += ins.freq[j] * bestPossible[j]
+	}
+
+	copy(cur, ins.base)
+	curCost := baseTotal
+	var curMem int64
+	var picked []int
+	gapPruned := false
+	deadlineHit := false
+
+	pruneThreshold := func() float64 {
+		return bestCost - gap*math.Abs(bestCost) - 1e-9
+	}
+
+	// lowerBound: cost reachable from position p with remaining memory —
+	// the larger of the knapsack bound and the memory-relaxed bound.
+	lowerBound := func(p int, remaining int64) float64 {
+		gain := 0.0
+		m := remaining
+		for i := p; i < len(order) && m > 0; i++ {
+			o := order[i]
+			if o.size <= m {
+				gain += o.ben
+				m -= o.size
+			} else {
+				gain += o.ben * float64(m) / float64(o.size)
+				break
+			}
+		}
+		lb := curCost - gain
+		if relaxedLB > lb {
+			lb = relaxedLB
+		}
+		return lb
+	}
+
+	rootBound := lowerBound(0, budget)
+
+	var rec func(p int)
+	rec = func(p int) {
+		nodes++
+		if deadlineHit || (nodes&255 == 0 && !deadline.IsZero() && time.Now().After(deadline)) {
+			deadlineHit = true
+			return
+		}
+		if curCost < bestCost-1e-9 {
+			bestCost = curCost
+			bestChosen = append(bestChosen[:0], picked...)
+		}
+		if p == len(order) {
+			return
+		}
+		lb := lowerBound(p, budget-curMem)
+		if lb >= pruneThreshold() {
+			if gap > 0 && lb < bestCost {
+				gapPruned = true
+			}
+			return
+		}
+		o := order[p]
+		// Include branch first (diving toward good incumbents).
+		if curMem+o.size <= budget {
+			var undo []assign
+			var gain float64
+			for _, a := range ins.cands[o.ci].queries {
+				if a.cost < cur[a.other] {
+					undo = append(undo, assign{a.other, cur[a.other]})
+					gain += ins.freq[a.other] * (cur[a.other] - a.cost)
+					cur[a.other] = a.cost
+				}
+			}
+			gain -= ins.cands[o.ci].writeCost
+			if gain > 0 {
+				picked = append(picked, o.ci)
+				curCost -= gain
+				curMem += o.size
+				rec(p + 1)
+				curMem -= o.size
+				curCost += gain
+				picked = picked[:len(picked)-1]
+			}
+			for _, u := range undo {
+				cur[u.other] = u.cost
+			}
+		}
+		if deadlineHit {
+			return
+		}
+		rec(p + 1)
+	}
+	rec(0)
+
+	finalGap = 0
+	if gapPruned {
+		finalGap = gap
+	}
+	if deadlineHit {
+		dnf = true
+		// Without open-node bookkeeping, the proven lower bound after an
+		// aborted search is the root relaxation; report the gap against it.
+		finalGap = math.Inf(1)
+		if bestCost > 0 {
+			finalGap = (bestCost - rootBound) / bestCost
+		}
+	}
+	return bestChosen, bestCost, nodes, finalGap, dnf
+}
+
+// baseTotal returns F(∅).
+func (ins *instance) baseTotal() float64 {
+	var total float64
+	for j := range ins.base {
+		total += ins.freq[j] * ins.base[j]
+	}
+	return total
+}
+
+// greedy builds an incumbent with the lazy-greedy (CELF) rule: repeatedly
+// select the candidate with the best MARGINAL gain per byte given everything
+// already selected. In the single-index setting marginal gains are
+// submodular — a candidate's gain only shrinks as the selection grows — so
+// lazily re-evaluated priority-queue entries give the exact greedy solution
+// without rescoring every candidate each round. It is both the combinatorial
+// search's starting incumbent and the fallback when the explicit-LP path
+// hits its deadline without one.
+func (ins *instance) greedy(budget int64) ([]int, float64) {
+	cur := append([]float64(nil), ins.base...)
+	marginal := func(ci int) float64 {
+		var gain float64
+		for _, a := range ins.cands[ci].queries {
+			if a.cost < cur[a.other] {
+				gain += ins.freq[a.other] * (cur[a.other] - a.cost)
+			}
+		}
+		return gain - ins.cands[ci].writeCost
+	}
+
+	h := &candHeap{ins: ins}
+	for ci := range ins.cands {
+		info := &ins.cands[ci]
+		if len(info.queries) == 0 || info.size > budget {
+			continue
+		}
+		if g := marginal(ci); g > 0 {
+			h.entries = append(h.entries, heapEntry{ci, g / float64(info.size), true})
+		}
+	}
+	heap.Init(h)
+
+	var chosen []int
+	var mem int64
+	cost := ins.baseTotal()
+	for h.Len() > 0 {
+		e := heap.Pop(h).(heapEntry)
+		info := &ins.cands[e.ci]
+		if mem+info.size > budget {
+			continue // memory only grows; this candidate never fits again
+		}
+		if !e.fresh {
+			g := marginal(e.ci)
+			if g <= 0 {
+				continue
+			}
+			d := g / float64(info.size)
+			if h.Len() > 0 && d < h.entries[0].density {
+				heap.Push(h, heapEntry{e.ci, d, true})
+				continue
+			}
+			e.density = d
+		}
+		gain := marginal(e.ci)
+		if gain <= 0 {
+			continue
+		}
+		chosen = append(chosen, e.ci)
+		mem += info.size
+		cost -= gain
+		for _, a := range info.queries {
+			if a.cost < cur[a.other] {
+				cur[a.other] = a.cost
+			}
+		}
+		// All remaining entries are now potentially stale.
+		for i := range h.entries {
+			h.entries[i].fresh = false
+		}
+	}
+	return chosen, cost
+}
+
+type heapEntry struct {
+	ci      int
+	density float64
+	fresh   bool
+}
+
+// candHeap is a max-heap on density with a deterministic tie-break.
+type candHeap struct {
+	ins     *instance
+	entries []heapEntry
+}
+
+func (h *candHeap) Len() int { return len(h.entries) }
+func (h *candHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.density != b.density {
+		return a.density > b.density
+	}
+	return h.ins.cands[a.ci].index.Key() < h.ins.cands[b.ci].index.Key()
+}
+func (h *candHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *candHeap) Push(x interface{}) {
+	h.entries = append(h.entries, x.(heapEntry))
+}
+func (h *candHeap) Pop() interface{} {
+	old := h.entries
+	n := len(old)
+	x := old[n-1]
+	h.entries = old[:n-1]
+	return x
+}

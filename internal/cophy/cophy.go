@@ -1,0 +1,406 @@
+// Package cophy re-implements CoPhy's linear-programming index-selection
+// approach (Dash et al., PVLDB 2011) as formalized in Section II-B of the
+// paper, eqs. (5)-(8): given a fixed candidate set I, pick x_k ∈ {0,1} and
+// per-query assignments z_jk minimizing total workload cost under a memory
+// budget, with at most one index per query.
+//
+// Two solve paths are provided:
+//
+//   - an explicit LP/MIP over package lp (the faithful formulation; also the
+//     source of the paper's Figure-6 variable/constraint accounting), used
+//     when the model is small enough to materialize;
+//   - a combinatorial branch-and-bound over x alone that exploits the
+//     structure "for fixed x, each query takes its cheapest selected
+//     applicable index", used for larger candidate sets.
+//
+// Both honor a mip-gap and a deadline and report DNF ("did not finish") when
+// the deadline strikes first — reproducing the scaling behaviour of Table I.
+package cophy
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Options configures a CoPhy solve.
+type Options struct {
+	// Budget is the memory budget A in bytes (must be positive).
+	Budget int64
+	// Gap is the relative optimality gap (the paper uses mipgap=0.05).
+	Gap float64
+	// TimeLimit aborts the solve; zero means none. On abort the best
+	// incumbent found is returned with Stats.DNF set.
+	TimeLimit time.Duration
+	// MaxLPSize bounds the number of LP variables for the explicit-LP path;
+	// larger models switch to the combinatorial branch and bound.
+	// Zero means 5000.
+	MaxLPSize int
+	// ForceLP forces the explicit LP path regardless of size; ForceCombinatorial
+	// forces the combinatorial path. Setting both is an error.
+	ForceLP            bool
+	ForceCombinatorial bool
+	// DominanceReduction removes globally dominated candidates before
+	// solving when the candidate set is at most MaxDominanceSize. It never
+	// changes the optimum, only the search size.
+	DominanceReduction bool
+	// MaxDominanceSize bounds the candidate count for the (quadratic)
+	// dominance filter; zero means 4000.
+	MaxDominanceSize int
+}
+
+// Stats reports the solve's size and effort.
+type Stats struct {
+	// Vars and Constraints are the LP dimensions per the paper's counting:
+	// |I| + sum_j |I_j ∪ 0| variables and Q + sum_j |I_j| + 1 constraints,
+	// with I_j the candidates whose leading attribute occurs in q_j.
+	Vars, Constraints int
+	// WhatIfCalls is the number of cost evaluations performed to populate
+	// the model's f_j(k) coefficients (≈ Q * q-bar * |I| / N, eq. (9)).
+	WhatIfCalls int64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Elapsed is the wall-clock solve time (excluding what-if calls).
+	Elapsed time.Duration
+	// Gap is the final relative optimality gap.
+	Gap float64
+	// DNF reports that the time limit struck before the gap was proven.
+	DNF bool
+	// UsedLP reports which path ran (true: explicit LP, false: combinatorial).
+	UsedLP bool
+}
+
+// Result is a CoPhy selection.
+type Result struct {
+	Selection workload.Selection
+	// Cost is F(I*) in the single-index setting.
+	Cost float64
+	// Memory is P(I*).
+	Memory int64
+	Stats  Stats
+}
+
+// Solve runs CoPhy over the candidate set.
+func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, opts Options) (*Result, error) {
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("cophy: budget must be positive (got %d)", opts.Budget)
+	}
+	if opts.ForceLP && opts.ForceCombinatorial {
+		return nil, fmt.Errorf("cophy: ForceLP and ForceCombinatorial are mutually exclusive")
+	}
+	ins := buildInstance(w, opt, cands)
+	stats := Stats{
+		Vars:        ins.paperVars,
+		Constraints: ins.paperConstraints,
+		WhatIfCalls: ins.whatIfCalls,
+	}
+
+	if opts.DominanceReduction {
+		limit := opts.MaxDominanceSize
+		if limit == 0 {
+			limit = 4000
+		}
+		if len(ins.cands) <= limit {
+			ins.reduceDominated()
+		}
+	}
+
+	maxLP := opts.MaxLPSize
+	if maxLP == 0 {
+		maxLP = 5000
+	}
+	useLP := opts.ForceLP || (!opts.ForceCombinatorial && ins.lpVars() <= maxLP)
+
+	start := time.Now()
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = start.Add(opts.TimeLimit)
+	}
+	var (
+		chosen []int
+		cost   float64
+		nodes  int
+		gap    float64
+		dnf    bool
+		err    error
+	)
+	if useLP {
+		chosen, cost, nodes, gap, dnf, err = ins.solveLP(opts.Budget, opts.Gap, deadline)
+		if err == nil {
+			// A deadline can strike the MIP before any integral incumbent
+			// exists; the cheap greedy solution is then strictly better
+			// than returning the empty selection.
+			if gChosen, gCost := ins.greedy(opts.Budget); gCost < cost {
+				chosen, cost = gChosen, gCost
+			}
+		}
+	} else {
+		chosen, cost, nodes, gap, dnf = ins.solveCombinatorial(opts.Budget, opts.Gap, deadline)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.Elapsed = time.Since(start)
+	stats.Nodes = nodes
+	stats.Gap = gap
+	stats.DNF = dnf
+	stats.UsedLP = useLP
+
+	sel := workload.NewSelection()
+	var mem int64
+	for _, ci := range chosen {
+		sel.Add(ins.cands[ci].index)
+		mem += ins.cands[ci].size
+	}
+	return &Result{Selection: sel, Cost: cost, Memory: mem, Stats: stats}, nil
+}
+
+// ModelSize reports the LP dimensions and what-if cost of CoPhy's
+// formulation for the candidate set without solving it — the accounting
+// behind the paper's Figure 6.
+func ModelSize(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index) Stats {
+	ins := buildInstance(w, opt, cands)
+	return Stats{
+		Vars:        ins.paperVars,
+		Constraints: ins.paperConstraints,
+		WhatIfCalls: ins.whatIfCalls,
+	}
+}
+
+// instance is the preprocessed problem: per-query applicable candidates with
+// their cost coefficients.
+type instance struct {
+	w     *workload.Workload
+	cands []candInfo
+	// perQuery[j] lists (candidate index, f_j(k)) for candidates applicable
+	// to query j with f_j(k) < f_j(0); base[j] is f_j(0).
+	perQuery [][]assign
+	base     []float64
+	freq     []float64
+
+	paperVars        int
+	paperConstraints int
+	whatIfCalls      int64
+}
+
+type candInfo struct {
+	index workload.Index
+	size  int64
+	// queries lists (query ID, cost) pairs where this candidate improves on
+	// the base cost (read paths only).
+	queries []assign
+	// writeCost is the frequency-weighted maintenance burden the workload's
+	// write templates impose once this candidate is selected. It enters the
+	// objective as a coefficient on x_k.
+	writeCost float64
+}
+
+type assign struct {
+	other int // candidate index (in perQuery) or query ID (in candInfo)
+	cost  float64
+}
+
+func buildInstance(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index) *instance {
+	ins := &instance{
+		w:        w,
+		perQuery: make([][]assign, w.NumQueries()),
+		base:     make([]float64, w.NumQueries()),
+		freq:     make([]float64, w.NumQueries()),
+	}
+	before := opt.Stats()
+	for _, q := range w.Queries {
+		ins.base[q.ID] = opt.BaseCost(q)
+		ins.freq[q.ID] = float64(q.Freq)
+	}
+	ins.cands = make([]candInfo, len(cands))
+	paperIj := 0
+	for ci, k := range cands {
+		info := candInfo{index: k, size: opt.IndexSize(k)}
+		for _, q := range w.Queries {
+			if q.IsWrite() {
+				info.writeCost += float64(q.Freq) * opt.MaintenanceCost(q, k)
+			}
+			if !workload.Applicable(q, k) {
+				continue
+			}
+			paperIj++ // member of I_j by the leading-attribute rule
+			c := opt.CostWithIndex(q, k)
+			if c < ins.base[q.ID] {
+				info.queries = append(info.queries, assign{q.ID, c})
+				ins.perQuery[q.ID] = append(ins.perQuery[q.ID], assign{ci, c})
+			}
+		}
+		ins.cands[ci] = info
+	}
+	after := opt.Stats()
+	ins.whatIfCalls = after.Calls - before.Calls
+	// Paper counting: |I| + sum_j(|I_j|+1) variables; Q + sum_j |I_j| + 1
+	// constraints (eqs. (6)-(8) with the z_j0 option).
+	ins.paperVars = len(cands) + paperIj + w.NumQueries()
+	ins.paperConstraints = w.NumQueries() + paperIj + 1
+	return ins
+}
+
+// lpVars returns the size of the benefit-filtered explicit LP.
+func (ins *instance) lpVars() int {
+	n := len(ins.cands) + len(ins.perQuery)
+	for _, pq := range ins.perQuery {
+		n += len(pq)
+	}
+	return n
+}
+
+// reduceDominated drops candidates k for which another candidate k2 is no
+// larger and at least as good for every query k improves (and strictly
+// better in size or some cost, with a deterministic tie-break). Dominated
+// candidates can be exchanged for their dominator in any feasible solution
+// without losing quality, so removal preserves the optimum.
+func (ins *instance) reduceDominated() {
+	n := len(ins.cands)
+	// Per-query cost lookup for dominance checks.
+	costOf := make([]map[int]float64, n)
+	for ci := range ins.cands {
+		m := make(map[int]float64, len(ins.cands[ci].queries))
+		for _, a := range ins.cands[ci].queries {
+			m[a.other] = a.cost
+		}
+		costOf[ci] = m
+	}
+	dominated := make([]bool, n)
+	for a := 0; a < n; a++ {
+		if dominated[a] || len(ins.cands[a].queries) == 0 {
+			if len(ins.cands[a].queries) == 0 {
+				dominated[a] = true // helps no query at all
+			}
+			continue
+		}
+		for b := 0; b < n; b++ {
+			if a == b || dominated[b] || ins.cands[b].size > ins.cands[a].size ||
+				ins.cands[b].writeCost > ins.cands[a].writeCost+1e-12 {
+				continue
+			}
+			if len(ins.cands[b].queries) < len(ins.cands[a].queries) {
+				continue
+			}
+			dominatesAll := true
+			strict := ins.cands[b].size < ins.cands[a].size
+			for _, qa := range ins.cands[a].queries {
+				cb, ok := costOf[b][qa.other]
+				if !ok || cb > qa.cost {
+					dominatesAll = false
+					break
+				}
+				if cb < qa.cost {
+					strict = true
+				}
+			}
+			if dominatesAll && (strict || b < a) {
+				dominated[a] = true
+				break
+			}
+		}
+	}
+	keep := make([]candInfo, 0, n)
+	remap := make([]int, n)
+	for ci := range ins.cands {
+		if dominated[ci] {
+			remap[ci] = -1
+			continue
+		}
+		remap[ci] = len(keep)
+		keep = append(keep, ins.cands[ci])
+	}
+	ins.cands = keep
+	for j := range ins.perQuery {
+		filtered := ins.perQuery[j][:0]
+		for _, a := range ins.perQuery[j] {
+			if remap[a.other] >= 0 {
+				a.other = remap[a.other]
+				filtered = append(filtered, a)
+			}
+		}
+		ins.perQuery[j] = filtered
+	}
+}
+
+// solveLP materializes eqs. (5)-(8) and solves with the lp package's MIP.
+func (ins *instance) solveLP(budget int64, gap float64, deadline time.Time) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
+	m := lp.NewModel()
+	xVar := make([]int, len(ins.cands))
+	memCoeffs := map[int]float64{}
+	for ci := range ins.cands {
+		xVar[ci] = m.AddVar(ins.cands[ci].writeCost, fmt.Sprintf("x_%s", ins.cands[ci].index.Key()), 1, true)
+		memCoeffs[xVar[ci]] = float64(ins.cands[ci].size)
+	}
+	for j, pq := range ins.perQuery {
+		one := map[int]float64{}
+		z0 := m.AddVar(ins.freq[j]*ins.base[j], fmt.Sprintf("z_%d_0", j), 1, false)
+		one[z0] = 1
+		for _, a := range pq {
+			z := m.AddVar(ins.freq[j]*a.cost, fmt.Sprintf("z_%d_%d", j, a.other), 1, false)
+			one[z] = 1
+			// z_jk <= x_k (constraint (7)).
+			m.AddConstraint(map[int]float64{z: 1, xVar[a.other]: -1}, lp.LE, 0)
+		}
+		// sum_k z_jk = 1 (constraint (6)).
+		m.AddConstraint(one, lp.EQ, 1)
+	}
+	// Memory budget (constraint (8)).
+	m.AddConstraint(memCoeffs, lp.LE, float64(budget))
+
+	res, err := lp.SolveMIP(m, lp.MIPOptions{Gap: gap, Deadline: deadline})
+	if err != nil {
+		return nil, 0, 0, 0, false, err
+	}
+	if res.Status != lp.Optimal {
+		// No incumbent: return the empty selection at base cost.
+		var base float64
+		for j := range ins.base {
+			base += ins.freq[j] * ins.base[j]
+		}
+		return nil, base, res.Nodes, math.Inf(1), res.DNF, nil
+	}
+	for ci := range ins.cands {
+		if res.X[xVar[ci]] > 0.5 {
+			chosen = append(chosen, ci)
+		}
+	}
+	// Recompute the cost from the selection (z variables may leave slack
+	// when an unused index is set).
+	cost = ins.evalCost(chosen)
+	return chosen, cost, res.Nodes, res.Gap, res.DNF, nil
+}
+
+// evalCost returns F for the chosen candidate indices.
+func (ins *instance) evalCost(chosen []int) float64 {
+	selected := make(map[int]bool, len(chosen))
+	for _, ci := range chosen {
+		selected[ci] = true
+	}
+	var total float64
+	for j, pq := range ins.perQuery {
+		best := ins.base[j]
+		for _, a := range pq {
+			if selected[a.other] && a.cost < best {
+				best = a.cost
+			}
+		}
+		total += ins.freq[j] * best
+	}
+	for ci := range selected {
+		total += ins.cands[ci].writeCost
+	}
+	return total
+}
+
+func (ins *instance) evalMem(chosen []int) int64 {
+	var mem int64
+	for _, ci := range chosen {
+		mem += ins.cands[ci].size
+	}
+	return mem
+}

@@ -1,0 +1,356 @@
+package cophy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func gen(t *testing.T, tables, attrs, queries int, rows int64, seed int64) *workload.Workload {
+	t.Helper()
+	cfg := workload.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = tables, attrs, queries
+	cfg.RowsBase, cfg.Seed = rows, seed
+	return workload.MustGenerate(cfg)
+}
+
+func setup(w *workload.Workload) (*costmodel.Model, *whatif.Optimizer) {
+	m := costmodel.New(w, costmodel.SingleIndex)
+	return m, whatif.New(m)
+}
+
+// bruteForce finds the optimal selection by enumerating all candidate subsets.
+func bruteForce(w *workload.Workload, m *costmodel.Model, cands []workload.Index, budget int64) float64 {
+	best := m.TotalCost(workload.NewSelection())
+	n := len(cands)
+	for mask := 1; mask < 1<<n; mask++ {
+		sel := workload.NewSelection()
+		var mem int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sel.Add(cands[i])
+				mem += m.IndexSize(cands[i])
+			}
+		}
+		if mem > budget {
+			continue
+		}
+		if c := m.TotalCost(sel); c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func singleAttrCandidates(w *workload.Workload, n int) []workload.Index {
+	g := w.Occurrences()
+	type aw struct {
+		a int
+		g int64
+	}
+	var all []aw
+	for _, a := range w.Attrs() {
+		if g[a.ID] > 0 {
+			all = append(all, aw{a.ID, g[a.ID]})
+		}
+	}
+	// Highest occurrence first, deterministic.
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].g > all[i].g || (all[j].g == all[i].g && all[j].a < all[i].a) {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]workload.Index, len(all))
+	for i, e := range all {
+		out[i] = workload.MustIndex(w, e.a)
+	}
+	return out
+}
+
+func TestBothPathsMatchBruteForce(t *testing.T) {
+	w := gen(t, 1, 8, 12, 20_000, 3)
+	m, opt := setup(w)
+	cands := singleAttrCandidates(w, 8)
+	budget := m.Budget(0.4)
+	want := bruteForce(w, m, cands, budget)
+
+	for _, force := range []struct {
+		name string
+		opts Options
+	}{
+		{"lp", Options{Budget: budget, ForceLP: true}},
+		{"combinatorial", Options{Budget: budget, ForceCombinatorial: true}},
+		{"lp+dominance", Options{Budget: budget, ForceLP: true, DominanceReduction: true}},
+		{"comb+dominance", Options{Budget: budget, ForceCombinatorial: true, DominanceReduction: true}},
+	} {
+		res, err := Solve(w, opt, cands, force.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", force.name, err)
+		}
+		if math.Abs(res.Cost-want) > 1e-6*want {
+			t.Errorf("%s: cost %v, brute force %v", force.name, res.Cost, want)
+		}
+		if res.Memory > budget {
+			t.Errorf("%s: memory %d exceeds budget %d", force.name, res.Memory, budget)
+		}
+		if got := m.TotalCost(res.Selection); math.Abs(got-res.Cost) > 1e-6*got {
+			t.Errorf("%s: reported cost %v != model %v", force.name, res.Cost, got)
+		}
+	}
+}
+
+func TestMultiAttributeCandidates(t *testing.T) {
+	w := gen(t, 1, 6, 8, 50_000, 5)
+	m, opt := setup(w)
+	combos, err := candidates.Combos(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := candidates.Permutations(combos)
+	if len(cands) > 16 {
+		cands = cands[:16]
+	}
+	budget := m.Budget(0.5)
+	want := bruteForce(w, m, cands, budget)
+	for _, force := range []Options{
+		{Budget: budget, ForceLP: true},
+		{Budget: budget, ForceCombinatorial: true},
+	} {
+		res, err := Solve(w, opt, cands, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-want) > 1e-6*want {
+			t.Errorf("opts %+v: cost %v, brute force %v", force, res.Cost, want)
+		}
+	}
+}
+
+func TestPathsAgreeOnLargerInstance(t *testing.T) {
+	w := gen(t, 1, 8, 14, 50_000, 7)
+	m, opt := setup(w)
+	combos, err := candidates.Combos(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Occurrences()
+	var cands []workload.Index
+	for _, c := range combos {
+		cands = append(cands, candidates.Representative(c, g, w))
+	}
+	budget := m.Budget(0.3)
+	lpRes, err := Solve(w, opt, cands, Options{Budget: budget, ForceLP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combRes, err := Solve(w, opt, cands, Options{Budget: budget, ForceCombinatorial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lpRes.Cost-combRes.Cost) > 1e-6*lpRes.Cost {
+		t.Errorf("paths disagree: LP %v vs combinatorial %v", lpRes.Cost, combRes.Cost)
+	}
+}
+
+func TestStatsPaperCounting(t *testing.T) {
+	// Hand-checkable: 1 table, queries {0,1}, {1,2}; candidates {0}, {1}, {2,1}.
+	tables := []workload.Table{{ID: 0, Name: "T", Rows: 1000, Attrs: []int{0, 1, 2}}}
+	attrs := []workload.Attribute{
+		{ID: 0, Table: 0, Name: "a", Distinct: 10, ValueSize: 4},
+		{ID: 1, Table: 0, Name: "b", Distinct: 20, ValueSize: 4},
+		{ID: 2, Table: 0, Name: "c", Distinct: 30, ValueSize: 4},
+	}
+	queries := []workload.Query{
+		{ID: 0, Table: 0, Attrs: []int{0, 1}, Freq: 5},
+		{ID: 1, Table: 0, Attrs: []int{1, 2}, Freq: 3},
+	}
+	w, err := workload.New(tables, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, opt := setup(w)
+	cands := []workload.Index{
+		workload.MustIndex(w, 0),    // applicable to q0 only
+		workload.MustIndex(w, 1),    // applicable to q0, q1
+		workload.MustIndex(w, 2, 1), // leading attr 2: applicable to q1 only
+	}
+	res, err := Solve(w, opt, cands, Options{Budget: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum_j |I_j| = |{k0,k1}| + |{k1,k2}| = 4.
+	// Vars = |I| + sum_j |I_j| + Q (z_j0) = 3 + 4 + 2 = 9.
+	// Constraints = Q + sum_j |I_j| + 1 = 2 + 4 + 1 = 7.
+	if res.Stats.Vars != 9 {
+		t.Errorf("Vars = %d, want 9", res.Stats.Vars)
+	}
+	if res.Stats.Constraints != 7 {
+		t.Errorf("Constraints = %d, want 7", res.Stats.Constraints)
+	}
+	// What-if calls: one per (query, applicable candidate) pair plus the
+	// 2 base costs = 4 + 2 = 6.
+	if res.Stats.WhatIfCalls != 6 {
+		t.Errorf("WhatIfCalls = %d, want 6", res.Stats.WhatIfCalls)
+	}
+}
+
+func TestTimeLimitDNF(t *testing.T) {
+	w := gen(t, 2, 15, 60, 100_000, 9)
+	m, opt := setup(w)
+	combos, err := candidates.Combos(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := candidates.Permutations(combos)
+	res, err := Solve(w, opt, cands, Options{
+		Budget:             m.Budget(0.3),
+		TimeLimit:          time.Nanosecond,
+		ForceCombinatorial: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.DNF {
+		t.Error("expected DNF under nanosecond time limit")
+	}
+	// Even a DNF returns a feasible incumbent.
+	if res.Memory > m.Budget(0.3) {
+		t.Errorf("DNF incumbent exceeds budget")
+	}
+}
+
+func TestGapSpeedsUpAndBoundsQuality(t *testing.T) {
+	w := gen(t, 1, 8, 16, 100_000, 11)
+	m, opt := setup(w)
+	combos, err := candidates.Combos(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Occurrences()
+	var cands []workload.Index
+	for _, c := range combos {
+		cands = append(cands, candidates.Representative(c, g, w))
+	}
+	budget := m.Budget(0.3)
+	exact, err := Solve(w, opt, cands, Options{Budget: budget, ForceCombinatorial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Solve(w, opt, cands, Options{Budget: budget, Gap: 0.05, ForceCombinatorial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Stats.Nodes > exact.Stats.Nodes {
+		t.Errorf("gap run explored more nodes (%d) than exact (%d)", loose.Stats.Nodes, exact.Stats.Nodes)
+	}
+	if loose.Cost > exact.Cost*1.05+1e-9 {
+		t.Errorf("gap run cost %v violates 5%% bound vs exact %v", loose.Cost, exact.Cost)
+	}
+}
+
+func TestLargerCandidateSetNeverWorse(t *testing.T) {
+	// CoPhy with a superset of candidates can only improve (Figure 3's
+	// premise) when solved exactly.
+	w := gen(t, 1, 10, 20, 50_000, 13)
+	m, opt := setup(w)
+	small := singleAttrCandidates(w, 4)
+	large := singleAttrCandidates(w, 10)
+	budget := m.Budget(0.4)
+	rs, err := Solve(w, opt, small, Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Solve(w, opt, large, Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Cost > rs.Cost+1e-9 {
+		t.Errorf("larger candidate set worsened cost: %v > %v", rl.Cost, rs.Cost)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	w := gen(t, 1, 5, 5, 1000, 1)
+	_, opt := setup(w)
+	if _, err := Solve(w, opt, nil, Options{}); err == nil {
+		t.Error("accepted zero budget")
+	}
+	if _, err := Solve(w, opt, nil, Options{Budget: 1, ForceLP: true, ForceCombinatorial: true}); err == nil {
+		t.Error("accepted contradictory force flags")
+	}
+}
+
+func TestEmptyCandidates(t *testing.T) {
+	w := gen(t, 1, 5, 5, 1000, 1)
+	m, opt := setup(w)
+	res, err := Solve(w, opt, nil, Options{Budget: m.Budget(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selection) != 0 {
+		t.Error("selected indexes from empty candidate set")
+	}
+	if want := m.TotalCost(workload.NewSelection()); math.Abs(res.Cost-want) > 1e-9*want {
+		t.Errorf("cost %v, want base %v", res.Cost, want)
+	}
+}
+
+func TestDominanceReductionPreservesOptimum(t *testing.T) {
+	w := gen(t, 1, 8, 14, 50_000, 17)
+	m, opt := setup(w)
+	combos, err := candidates.Combos(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := candidates.Permutations(combos)
+	budget := m.Budget(0.3)
+	plain, err := Solve(w, opt, cands, Options{Budget: budget, ForceCombinatorial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := Solve(w, opt, cands, Options{Budget: budget, ForceCombinatorial: true, DominanceReduction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Cost-reduced.Cost) > 1e-6*plain.Cost {
+		t.Errorf("dominance reduction changed optimum: %v vs %v", plain.Cost, reduced.Cost)
+	}
+}
+
+func TestWriteWorkloadMatchesBruteForce(t *testing.T) {
+	cfg := workload.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 1, 8, 14
+	cfg.RowsBase, cfg.Seed = 50_000, 23
+	cfg.WriteShare = 0.3
+	w := workload.MustGenerate(cfg)
+	m, opt := setup(w)
+	cands := singleAttrCandidates(w, 8)
+	budget := m.Budget(0.5)
+	want := bruteForce(w, m, cands, budget) // TotalCost includes maintenance
+
+	for _, force := range []Options{
+		{Budget: budget, ForceLP: true},
+		{Budget: budget, ForceCombinatorial: true},
+	} {
+		res, err := Solve(w, opt, cands, force)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-want) > 1e-6*want {
+			t.Errorf("opts %+v: cost %v, brute force %v", force, res.Cost, want)
+		}
+		if got := m.TotalCost(res.Selection); math.Abs(got-res.Cost) > 1e-6*got {
+			t.Errorf("reported cost %v != model %v", res.Cost, got)
+		}
+	}
+}

@@ -1,0 +1,824 @@
+// Package core implements the paper's primary contribution: the recursive,
+// constructive multi-attribute index-selection strategy of Algorithm 1
+// (heuristic H6, Section II-C).
+//
+// Starting from the empty selection, each construction step either adds a new
+// single-attribute index (step 3a) or appends one attribute to the end of an
+// existing index (step 3b, "morphing"), always choosing the step with the
+// best ratio of additional performance to additional memory — evaluated in
+// the presence of all previously selected indexes, which is how index
+// interaction (IIA) is taken into account. The full step trace approximates
+// the efficient frontier of performance versus memory: cutting the trace at
+// any budget yields the H6 selection for that budget.
+//
+// The optional extensions of Remark 1 (restricting new single-attribute
+// indexes to the n best, dropping unused indexes, recording second-best
+// opportunities, and pair construction steps) and the multi-index evaluation
+// of Remark 2 are all supported through Options.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Options configures Algorithm 1.
+type Options struct {
+	// Budget is the memory budget A in bytes. Steps that would exceed it are
+	// not applied. Budget must be positive.
+	Budget int64
+	// MaxSteps bounds the number of construction steps; 0 means unlimited.
+	MaxSteps int
+	// TopNSingle restricts step (3a) to the n single-attribute indexes with
+	// the best initial benefit/size ratio (Remark 1.1); 0 considers all.
+	TopNSingle int
+	// DropUnused evicts selected indexes that no query uses anymore
+	// (Remark 1.2), freeing their memory at zero cost change.
+	DropUnused bool
+	// TrackSecondBest records each step's best rejected alternative in the
+	// trace (Remark 1.3).
+	TrackSecondBest bool
+	// PairSteps additionally considers two-attribute construction steps:
+	// building a new two-attribute index or appending an attribute pair
+	// (Remark 1.4). The pair universe is limited to PairLimit co-occurring
+	// pairs by weight.
+	PairSteps bool
+	// PairLimit bounds the pair universe for PairSteps; 0 means 200.
+	PairLimit int
+	// MultiIndex evaluates candidate steps with whole-selection what-if
+	// calls instead of the single-index decomposition (Remark 2). Much more
+	// expensive; intended for small workloads.
+	MultiIndex bool
+	// ExactEvaluation forces a what-if call for every (query, extended
+	// index) pair instead of deriving unchanged costs from the
+	// pre-extension index. Derivation is valid for cost sources whose
+	// f_j(k) depends only on the coverable prefix U(q_j, k) (the Appendix-B
+	// model); measured sources (the engine) should set ExactEvaluation,
+	// matching the paper's end-to-end methodology of executing every query
+	// under every candidate.
+	ExactEvaluation bool
+	// Reconfig, if non-nil, returns R(I*, I-bar*) for a candidate selection;
+	// it is added to the workload cost when comparing steps. The current
+	// selection I-bar* is the caller's to capture.
+	Reconfig func(sel workload.Selection) float64
+}
+
+// StepKind labels a construction step.
+type StepKind int
+
+const (
+	// StepNewIndex is step (3a): a new single-attribute index.
+	StepNewIndex StepKind = iota
+	// StepExtend is step (3b): one attribute appended to an existing index.
+	StepExtend
+	// StepNewPair builds a new two-attribute index (Remark 1.4).
+	StepNewPair
+	// StepExtendPair appends two attributes to an existing index (Remark 1.4).
+	StepExtendPair
+	// StepDrop evicts an unused index (Remark 1.2).
+	StepDrop
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepNewIndex:
+		return "new"
+	case StepExtend:
+		return "extend"
+	case StepNewPair:
+		return "new-pair"
+	case StepExtendPair:
+		return "extend-pair"
+	case StepDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step records one applied construction step.
+type Step struct {
+	Kind StepKind
+	// Index is the index created or extended into (for StepDrop: removed).
+	Index workload.Index
+	// Replaced is the pre-extension index for StepExtend/StepExtendPair.
+	Replaced *workload.Index
+	// CostBefore/CostAfter are F(I)+R(I) around the step.
+	CostBefore, CostAfter float64
+	// MemBefore/MemAfter are P(I) around the step.
+	MemBefore, MemAfter int64
+	// Ratio is the step's (cost reduction)/(additional memory).
+	Ratio float64
+	// RunnerUp describes the best rejected alternative when
+	// Options.TrackSecondBest is set.
+	RunnerUp *Alternative
+}
+
+// Alternative is a rejected candidate step (Remark 1.3).
+type Alternative struct {
+	Kind  StepKind
+	Index workload.Index
+	Ratio float64
+}
+
+// Result is the outcome of a run of Algorithm 1.
+type Result struct {
+	// Steps is the full construction trace in order.
+	Steps []Step
+	// Selection is the final index selection (within budget).
+	Selection workload.Selection
+	// InitialCost is F(∅) (+R if configured).
+	InitialCost float64
+	// Cost is the final F(I*) (+R).
+	Cost float64
+	// Memory is the final P(I*).
+	Memory int64
+}
+
+// Frontier returns the (memory, cost) point after every step, prefixed with
+// the empty-selection point — the H6 approximation of the efficient frontier.
+func (r *Result) Frontier() []FrontierPoint {
+	pts := make([]FrontierPoint, 0, len(r.Steps)+1)
+	pts = append(pts, FrontierPoint{Memory: 0, Cost: r.InitialCost})
+	for _, s := range r.Steps {
+		pts = append(pts, FrontierPoint{Memory: s.MemAfter, Cost: s.CostAfter})
+	}
+	return pts
+}
+
+// FrontierPoint is one point of the performance/memory frontier.
+type FrontierPoint struct {
+	Memory int64
+	Cost   float64
+}
+
+// SelectionAt replays the trace and returns the selection, cost and memory
+// of the last step within the given budget. It lets one run of Algorithm 1
+// (with a large budget) answer every smaller budget, as in the paper's
+// budget sweeps.
+func (r *Result) SelectionAt(budget int64) (workload.Selection, float64, int64) {
+	sel := workload.NewSelection()
+	cost := r.InitialCost
+	var mem int64
+	for _, s := range r.Steps {
+		if s.MemAfter > budget {
+			// Drop steps only shrink memory; later cheaper states may still
+			// fit, so skip-forward only on growth steps.
+			if s.Kind != StepDrop {
+				break
+			}
+		}
+		switch s.Kind {
+		case StepDrop:
+			sel.Remove(s.Index)
+		case StepExtend, StepExtendPair:
+			sel.Remove(*s.Replaced)
+			sel.Add(s.Index)
+		default:
+			sel.Add(s.Index)
+		}
+		cost, mem = s.CostAfter, s.MemAfter
+	}
+	return sel, cost, mem
+}
+
+// Select runs Algorithm 1 on workload w with costs served by opt.
+func Select(w *workload.Workload, opt *whatif.Optimizer, opts Options) (*Result, error) {
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("core: budget must be positive (got %d)", opts.Budget)
+	}
+	s := newSelector(w, opt, opts)
+	if opts.MultiIndex {
+		return s.runMultiIndex()
+	}
+	return s.run()
+}
+
+// selector holds the incremental state of a run.
+type selector struct {
+	w    *workload.Workload
+	opt  *whatif.Optimizer
+	opts Options
+
+	queriesWith [][]int              // attr -> IDs of queries accessing it
+	base        []float64            // query -> f_j(0)
+	cost        []float64            // query -> current cost under sel
+	served      []map[string]float64 // query -> selected index key -> f_j(k)
+
+	sel   workload.Selection
+	size  map[string]int64 // selected index key -> p_k
+	fsum  float64          // read component of F(I) = sum b_j cost_j
+	wsum  float64          // write component: sum of maintenance of selected indexes
+	mem   int64            // P(I)
+	recon float64          // R(I) under opts.Reconfig (0 if nil)
+
+	writeQs   []int              // IDs of Insert/Update templates
+	maintCost map[string]float64 // index key -> frequency-weighted maintenance
+
+	// candCost caches f_j(candidate) aligned with queriesWith[lead].
+	candCost map[string][]float64
+
+	singleAllowed map[int]bool // non-nil when TopNSingle restricts step 3a
+	pairs         [][2]int     // pair universe for PairSteps
+
+	steps []Step
+}
+
+func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *selector {
+	s := &selector{
+		w:        w,
+		opt:      opt,
+		opts:     opts,
+		sel:      workload.NewSelection(),
+		size:     make(map[string]int64),
+		candCost: make(map[string][]float64),
+	}
+	s.queriesWith = make([][]int, w.NumAttrs())
+	for _, q := range w.Queries {
+		if q.IsWrite() {
+			s.writeQs = append(s.writeQs, q.ID)
+		}
+		if q.Kind == workload.Insert {
+			continue // inserts have no read path an index could serve
+		}
+		for _, a := range q.Attrs {
+			s.queriesWith[a] = append(s.queriesWith[a], q.ID)
+		}
+	}
+	s.maintCost = make(map[string]float64)
+	s.base = make([]float64, w.NumQueries())
+	s.cost = make([]float64, w.NumQueries())
+	s.served = make([]map[string]float64, w.NumQueries())
+	for _, q := range w.Queries {
+		s.base[q.ID] = opt.BaseCost(q)
+		s.cost[q.ID] = s.base[q.ID]
+		s.served[q.ID] = make(map[string]float64)
+		s.fsum += float64(q.Freq) * s.base[q.ID]
+	}
+	if opts.Reconfig != nil {
+		s.recon = opts.Reconfig(s.sel)
+	}
+	return s
+}
+
+// costsFor returns f_j(k) for the queries in queriesWith[k.Leading()],
+// computing and caching them on first use.
+func (s *selector) costsFor(k workload.Index) []float64 {
+	key := k.Key()
+	if c, ok := s.candCost[key]; ok {
+		return c
+	}
+	qs := s.queriesWith[k.Leading()]
+	c := make([]float64, len(qs))
+	for i, qid := range qs {
+		c[i] = s.opt.CostWithIndex(s.w.Queries[qid], k)
+	}
+	s.candCost[key] = c
+	return c
+}
+
+// extCostsFor returns f_j(ext) aligned with queriesWith[ext.Leading()],
+// deriving entries from the pre-extension index's costs whenever the
+// query's coverable prefix is unchanged by the extension — those queries
+// "do not change and have already been determined previously"
+// (Section III-A), so no what-if call is spent on them.
+func (s *selector) extCostsFor(base, ext workload.Index) []float64 {
+	key := ext.Key()
+	if c, ok := s.candCost[key]; ok {
+		return c
+	}
+	if s.opts.ExactEvaluation {
+		return s.costsFor(ext)
+	}
+	baseCosts := s.costsFor(base)
+	qs := s.queriesWith[ext.Leading()]
+	c := make([]float64, len(qs))
+	for i, qid := range qs {
+		q := s.w.Queries[qid]
+		if len(workload.CoverablePrefix(q, ext)) == len(workload.CoverablePrefix(q, base)) {
+			c[i] = baseCosts[i]
+		} else {
+			c[i] = s.opt.CostWithIndex(q, ext)
+		}
+	}
+	s.candCost[key] = c
+	return c
+}
+
+// maintFor returns the frequency-weighted maintenance cost the selected
+// write templates impose on index k, cached per index key.
+func (s *selector) maintFor(k workload.Index) float64 {
+	key := k.Key()
+	if c, ok := s.maintCost[key]; ok {
+		return c
+	}
+	var cost float64
+	for _, qid := range s.writeQs {
+		q := s.w.Queries[qid]
+		cost += float64(q.Freq) * s.opt.MaintenanceCost(q, k)
+	}
+	s.maintCost[key] = cost
+	return cost
+}
+
+// total returns the tracked F(I) + maintenance + R(I).
+func (s *selector) total() float64 { return s.fsum + s.wsum + s.recon }
+
+func (s *selector) indexSize(k workload.Index) int64 {
+	return s.opt.IndexSize(k)
+}
+
+// candidate is a potential construction step under evaluation.
+type candidate struct {
+	kind     StepKind
+	index    workload.Index
+	replaced *workload.Index
+	gain     float64 // cost reduction F(I)+R(I) - F(Ĩ) - R(Ĩ)
+	deltaMem int64
+	ratio    float64
+}
+
+// evalNew computes the gain of adding idx as a brand-new index.
+func (s *selector) evalNew(idx workload.Index, kind StepKind) (candidate, bool) {
+	if s.sel.Has(idx) {
+		return candidate{}, false
+	}
+	costs := s.costsFor(idx)
+	qs := s.queriesWith[idx.Leading()]
+	var gain float64
+	for i, qid := range qs {
+		if c := costs[i]; c < s.cost[qid] {
+			gain += float64(s.w.Queries[qid].Freq) * (s.cost[qid] - c)
+		}
+	}
+	gain -= s.maintFor(idx)
+	dm := s.indexSize(idx)
+	if s.opts.Reconfig != nil {
+		next := s.sel.Clone()
+		next.Add(idx)
+		gain += s.recon - s.opts.Reconfig(next)
+	}
+	if gain <= 0 || dm <= 0 {
+		return candidate{}, false
+	}
+	return candidate{kind: kind, index: idx, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+}
+
+// evalExtend computes the gain of morphing selected index k into k with
+// extra attributes appended. Extending can degrade queries that used k but
+// cannot cover the new attributes (wider keys probe slower), so the gain
+// accounts for replacements, not just improvements.
+func (s *selector) evalExtend(k workload.Index, ext workload.Index, kind StepKind) (candidate, bool) {
+	if s.sel.Has(ext) {
+		return candidate{}, false
+	}
+	kKey := k.Key()
+	costs := s.extCostsFor(k, ext)
+	qs := s.queriesWith[k.Leading()]
+	var gain float64
+	for i, qid := range qs {
+		old := s.cost[qid]
+		niu := s.base[qid]
+		for key, c := range s.served[qid] {
+			if key == kKey {
+				continue
+			}
+			if c < niu {
+				niu = c
+			}
+		}
+		if c := costs[i]; c < niu {
+			niu = c
+		}
+		gain += float64(s.w.Queries[qid].Freq) * (old - niu)
+	}
+	gain -= s.maintFor(ext) - s.maintFor(k)
+	dm := s.indexSize(ext) - s.size[kKey]
+	if s.opts.Reconfig != nil {
+		next := s.sel.Clone()
+		next.Remove(k)
+		next.Add(ext)
+		gain += s.recon - s.opts.Reconfig(next)
+	}
+	if gain <= 0 || dm <= 0 {
+		return candidate{}, false
+	}
+	kc := k
+	return candidate{kind: kind, index: ext, replaced: &kc, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+}
+
+// better reports whether a should be preferred over b (higher ratio; ties
+// break deterministically by kind then key).
+func better(a, b candidate) bool {
+	if a.ratio != b.ratio {
+		return a.ratio > b.ratio
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.index.Key() < b.index.Key()
+}
+
+// collect enumerates and evaluates all candidate steps that fit the budget.
+func (s *selector) collect() (best, second candidate, ok bool) {
+	consider := func(c candidate, valid bool) {
+		if !valid || s.mem+c.deltaMem > s.opts.Budget {
+			return
+		}
+		if !ok || better(c, best) {
+			if ok {
+				second = best
+			}
+			best, ok = c, true
+		} else if second.index.Attrs == nil || better(c, second) {
+			second = c
+		}
+	}
+
+	// Step (3a): new single-attribute indexes.
+	for _, a := range s.w.Attrs() {
+		if s.singleAllowed != nil && !s.singleAllowed[a.ID] {
+			continue
+		}
+		if len(s.queriesWith[a.ID]) == 0 {
+			continue
+		}
+		idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
+		consider(s.evalNew(idx, StepNewIndex))
+	}
+
+	// Step (3b): append one attribute to each selected index.
+	for _, k := range s.sel.Sorted() {
+		for _, a := range s.w.Tables[k.Table].Attrs {
+			if k.Contains(a) {
+				continue
+			}
+			consider(s.evalExtend(k, k.Append(a), StepExtend))
+		}
+	}
+
+	if s.opts.PairSteps {
+		for _, p := range s.pairUniverse() {
+			idx := workload.Index{Table: s.w.TableOf(p[0]), Attrs: []int{p[0], p[1]}}
+			consider(s.evalNew(idx, StepNewPair))
+			for _, k := range s.sel.Sorted() {
+				if k.Table != idx.Table || k.Contains(p[0]) || k.Contains(p[1]) {
+					continue
+				}
+				consider(s.evalExtend(k, k.Append(p[0]).Append(p[1]), StepExtendPair))
+			}
+		}
+	}
+	return best, second, ok
+}
+
+// pairUniverse lazily builds the limited pair universe for Remark 1.4:
+// the highest-weight attribute pairs co-occurring in queries, in both orders.
+func (s *selector) pairUniverse() [][2]int {
+	if s.pairs != nil {
+		return s.pairs
+	}
+	limit := s.opts.PairLimit
+	if limit <= 0 {
+		limit = 200
+	}
+	type pw struct {
+		p [2]int
+		w int64
+	}
+	weights := make(map[[2]int]int64)
+	for _, q := range s.w.Queries {
+		for i := 0; i < len(q.Attrs); i++ {
+			for j := i + 1; j < len(q.Attrs); j++ {
+				weights[[2]int{q.Attrs[i], q.Attrs[j]}] += q.Freq
+			}
+		}
+	}
+	all := make([]pw, 0, len(weights))
+	for p, wgt := range weights {
+		all = append(all, pw{p, wgt})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].p[0] < all[j].p[0] || (all[i].p[0] == all[j].p[0] && all[i].p[1] < all[j].p[1])
+	})
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	s.pairs = make([][2]int, 0, 2*len(all))
+	for _, e := range all {
+		s.pairs = append(s.pairs, e.p, [2]int{e.p[1], e.p[0]})
+	}
+	return s.pairs
+}
+
+// apply mutates the state with the chosen candidate and records the step.
+func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
+	before, memBefore := s.total(), s.mem
+
+	if c.replaced != nil {
+		s.removeIndex(*c.replaced)
+	}
+	s.addIndex(c.index)
+
+	if s.opts.Reconfig != nil {
+		s.recon = s.opts.Reconfig(s.sel)
+	}
+	step := Step{
+		Kind:       c.kind,
+		Index:      c.index,
+		Replaced:   c.replaced,
+		CostBefore: before,
+		CostAfter:  s.total(),
+		MemBefore:  memBefore,
+		MemAfter:   s.mem,
+		Ratio:      c.ratio,
+	}
+	if s.opts.TrackSecondBest && haveSecond {
+		step.RunnerUp = &Alternative{Kind: second.kind, Index: second.index, Ratio: second.ratio}
+	}
+	s.steps = append(s.steps, step)
+}
+
+// addIndex inserts idx into the selection and refreshes affected queries.
+func (s *selector) addIndex(idx workload.Index) {
+	key := idx.Key()
+	s.sel.Add(idx)
+	sz := s.indexSize(idx)
+	s.size[key] = sz
+	s.mem += sz
+	s.wsum += s.maintFor(idx)
+	costs := s.costsFor(idx)
+	for i, qid := range s.queriesWith[idx.Leading()] {
+		s.served[qid][key] = costs[i]
+		if costs[i] < s.cost[qid] {
+			s.fsum -= float64(s.w.Queries[qid].Freq) * (s.cost[qid] - costs[i])
+			s.cost[qid] = costs[i]
+		}
+	}
+}
+
+// removeIndex drops idx from the selection and re-derives affected queries'
+// costs from their remaining served entries.
+func (s *selector) removeIndex(idx workload.Index) {
+	key := idx.Key()
+	s.sel.Remove(idx)
+	s.mem -= s.size[key]
+	s.wsum -= s.maintFor(idx)
+	delete(s.size, key)
+	for _, qid := range s.queriesWith[idx.Leading()] {
+		if _, ok := s.served[qid][key]; !ok {
+			continue
+		}
+		delete(s.served[qid], key)
+		niu := s.base[qid]
+		for _, c := range s.served[qid] {
+			if c < niu {
+				niu = c
+			}
+		}
+		if niu != s.cost[qid] {
+			s.fsum += float64(s.w.Queries[qid].Freq) * (niu - s.cost[qid])
+			s.cost[qid] = niu
+		}
+	}
+}
+
+// dropUnused evicts selected indexes whose removal does not worsen the total
+// cost (Remark 1.2): read-unused indexes always qualify, and under write
+// workloads so do indexes whose residual read benefit no longer covers their
+// maintenance burden. Drop steps are recorded in the trace.
+func (s *selector) dropUnused() {
+	for changed := true; changed; {
+		changed = false
+		for _, k := range s.sel.Sorted() {
+			key := k.Key()
+			// readDelta: how much the read cost would grow without k.
+			var readDelta float64
+			for _, qid := range s.queriesWith[k.Leading()] {
+				c, ok := s.served[qid][key]
+				if !ok || c > s.cost[qid] {
+					continue
+				}
+				alt := s.base[qid]
+				for okey, oc := range s.served[qid] {
+					if okey != key && oc < alt {
+						alt = oc
+					}
+				}
+				if alt > s.cost[qid] {
+					readDelta += float64(s.w.Queries[qid].Freq) * (alt - s.cost[qid])
+				}
+			}
+			if readDelta > s.maintFor(k)+1e-9 {
+				continue // still worth keeping
+			}
+			before, memBefore := s.total(), s.mem
+			s.removeIndex(k)
+			if s.opts.Reconfig != nil {
+				s.recon = s.opts.Reconfig(s.sel)
+			}
+			s.steps = append(s.steps, Step{
+				Kind:       StepDrop,
+				Index:      k,
+				CostBefore: before,
+				CostAfter:  s.total(),
+				MemBefore:  memBefore,
+				MemAfter:   s.mem,
+			})
+			changed = true
+		}
+	}
+}
+
+// initTopNSingle ranks single-attribute indexes by their initial ratio and
+// restricts step (3a) to the best n (Remark 1.1).
+func (s *selector) initTopNSingle() {
+	n := s.opts.TopNSingle
+	if n <= 0 {
+		return
+	}
+	type ranked struct {
+		attr  int
+		ratio float64
+	}
+	var all []ranked
+	for _, a := range s.w.Attrs() {
+		if len(s.queriesWith[a.ID]) == 0 {
+			continue
+		}
+		idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
+		costs := s.costsFor(idx)
+		var gain float64
+		for i, qid := range s.queriesWith[a.ID] {
+			if c := costs[i]; c < s.base[qid] {
+				gain += float64(s.w.Queries[qid].Freq) * (s.base[qid] - c)
+			}
+		}
+		if sz := s.indexSize(idx); sz > 0 && gain > 0 {
+			all = append(all, ranked{a.ID, gain / float64(sz)})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].ratio != all[j].ratio {
+			return all[i].ratio > all[j].ratio
+		}
+		return all[i].attr < all[j].attr
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	s.singleAllowed = make(map[int]bool, len(all))
+	for _, r := range all {
+		s.singleAllowed[r.attr] = true
+	}
+}
+
+// run executes the construction loop in the single-index cost decomposition.
+func (s *selector) run() (*Result, error) {
+	s.initTopNSingle()
+	initial := s.total()
+	for {
+		if s.opts.MaxSteps > 0 && len(s.steps) >= s.opts.MaxSteps {
+			break
+		}
+		best, second, ok := s.collect()
+		if !ok {
+			break
+		}
+		haveSecond := second.index.Attrs != nil
+		s.apply(best, second, haveSecond)
+		if s.opts.DropUnused {
+			s.dropUnused()
+		}
+	}
+	return &Result{
+		Steps:       s.steps,
+		Selection:   s.sel,
+		InitialCost: initial,
+		Cost:        s.total(),
+		Memory:      s.mem,
+	}, nil
+}
+
+// runMultiIndex executes the construction loop evaluating each candidate
+// with whole-selection what-if calls (Remark 2). Because every step changes
+// the context earlier calls were made under, affected queries' cached costs
+// are refreshed rather than reused. Intended for small workloads.
+func (s *selector) runMultiIndex() (*Result, error) {
+	queryCost := func(sel workload.Selection, q workload.Query) float64 {
+		return s.opt.QueryCost(q, sel)
+	}
+	total := func(sel workload.Selection) float64 {
+		var f float64
+		for _, q := range s.w.Queries {
+			f += float64(q.Freq) * queryCost(sel, q)
+		}
+		if s.opts.Reconfig != nil {
+			f += s.opts.Reconfig(sel)
+		}
+		return f
+	}
+	selSize := func(sel workload.Selection) int64 {
+		var p int64
+		for _, k := range sel {
+			p += s.indexSize(k)
+		}
+		return p
+	}
+
+	cur := workload.NewSelection()
+	curCost := total(cur)
+	initial := curCost
+	var curMem int64
+	var steps []Step
+
+	for {
+		if s.opts.MaxSteps > 0 && len(steps) >= s.opts.MaxSteps {
+			break
+		}
+		type cand struct {
+			kind     StepKind
+			index    workload.Index
+			replaced *workload.Index
+			sel      workload.Selection
+		}
+		var cands []cand
+		for _, a := range s.w.Attrs() {
+			if len(s.queriesWith[a.ID]) == 0 {
+				continue
+			}
+			idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
+			if cur.Has(idx) {
+				continue
+			}
+			next := cur.Clone()
+			next.Add(idx)
+			cands = append(cands, cand{StepNewIndex, idx, nil, next})
+		}
+		for _, k := range cur.Sorted() {
+			for _, a := range s.w.Tables[k.Table].Attrs {
+				if k.Contains(a) {
+					continue
+				}
+				ext := k.Append(a)
+				if cur.Has(ext) {
+					continue
+				}
+				next := cur.Clone()
+				next.Remove(k)
+				next.Add(ext)
+				kc := k
+				cands = append(cands, cand{StepExtend, ext, &kc, next})
+			}
+		}
+
+		bestRatio := math.Inf(-1)
+		var best *cand
+		var bestCost float64
+		var bestMem int64
+		for i := range cands {
+			c := &cands[i]
+			mem := selSize(c.sel)
+			if mem > s.opts.Budget || mem <= curMem {
+				continue
+			}
+			cost := total(c.sel)
+			gain := curCost - cost
+			if gain <= 0 {
+				continue
+			}
+			ratio := gain / float64(mem-curMem)
+			if ratio > bestRatio || (ratio == bestRatio && best != nil && c.index.Key() < best.index.Key()) {
+				bestRatio, best, bestCost, bestMem = ratio, c, cost, mem
+			}
+		}
+		if best == nil {
+			break
+		}
+		steps = append(steps, Step{
+			Kind:       best.kind,
+			Index:      best.index,
+			Replaced:   best.replaced,
+			CostBefore: curCost,
+			CostAfter:  bestCost,
+			MemBefore:  curMem,
+			MemAfter:   bestMem,
+			Ratio:      bestRatio,
+		})
+		cur, curCost, curMem = best.sel, bestCost, bestMem
+	}
+	return &Result{
+		Steps:       steps,
+		Selection:   cur,
+		InitialCost: initial,
+		Cost:        curCost,
+		Memory:      curMem,
+	}, nil
+}

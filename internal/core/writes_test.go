@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func writeGen(t *testing.T, writeShare float64, seed int64) *workload.Workload {
+	t.Helper()
+	cfg := workload.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 15, 40
+	cfg.RowsBase, cfg.Seed = 100_000, seed
+	cfg.WriteShare = writeShare
+	return workload.MustGenerate(cfg)
+}
+
+// TestWriteBookkeepingMatchesModel: the incremental read+maintenance
+// tracking must agree with the cost model's full evaluation.
+func TestWriteBookkeepingMatchesModel(t *testing.T) {
+	w := writeGen(t, 0.3, 61)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	opt := whatif.New(m)
+	res, err := Select(w, opt, Options{Budget: m.Budget(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Cost, m.TotalCost(res.Selection); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("tracked cost %v != model %v", got, want)
+	}
+	if got, want := res.InitialCost, m.TotalCost(workload.NewSelection()); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("initial cost %v != model %v", got, want)
+	}
+}
+
+// TestWriteAwareSelectsFewerOrEqual: raising the write share cannot increase
+// the number of selected indexes under the same budget for the same seed.
+func TestWriteAwareSelectsFewerOrEqual(t *testing.T) {
+	readOnly := writeGen(t, 0, 67)
+	heavy := writeGen(t, 0.5, 67)
+	mR := costmodel.New(readOnly, costmodel.SingleIndex)
+	mW := costmodel.New(heavy, costmodel.SingleIndex)
+	rr, err := Select(readOnly, whatif.New(mR), Options{Budget: mR.Budget(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Select(heavy, whatif.New(mW), Options{Budget: mW.Budget(0.4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workloads differ (write templates replace read templates), so an
+	// exact count comparison is not meaningful — but a write-heavy workload
+	// must not attract MORE indexing than the read-only one.
+	if len(rw.Selection) > len(rr.Selection) {
+		t.Errorf("write-heavy selected %d indexes, read-only %d", len(rw.Selection), len(rr.Selection))
+	}
+}
+
+// TestWriteOnlyTableGetsNoIndex: a table receiving only inserts must end up
+// without indexes — every candidate is net harmful there.
+func TestWriteOnlyTableGetsNoIndex(t *testing.T) {
+	tables := []workload.Table{
+		{ID: 0, Name: "READ", Rows: 100_000, Attrs: []int{0, 1}},
+		{ID: 1, Name: "WRITE", Rows: 100_000, Attrs: []int{2, 3}},
+	}
+	attrs := []workload.Attribute{
+		{ID: 0, Table: 0, Name: "R.a", Distinct: 100, ValueSize: 4},
+		{ID: 1, Table: 0, Name: "R.b", Distinct: 1000, ValueSize: 4},
+		{ID: 2, Table: 1, Name: "W.a", Distinct: 100, ValueSize: 4},
+		{ID: 3, Table: 1, Name: "W.b", Distinct: 1000, ValueSize: 4},
+	}
+	queries := []workload.Query{
+		{ID: 0, Table: 0, Attrs: []int{0, 1}, Freq: 1000},
+		{ID: 1, Table: 1, Attrs: []int{2, 3}, Freq: 1000, Kind: workload.Insert},
+	}
+	w, err := workload.New(tables, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := costmodel.New(w, costmodel.SingleIndex)
+	res, err := Select(w, whatif.New(m), Options{Budget: m.Budget(1.0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selection) == 0 {
+		t.Fatal("read table should receive an index")
+	}
+	for _, k := range res.Selection {
+		if k.Table == 1 {
+			t.Errorf("insert-only table received index %v", k)
+		}
+	}
+}
+
+// TestDropUnusedEvictsMaintenanceBurdens: an index whose read benefit
+// vanishes after a better index appears must be dropped when it carries
+// write maintenance.
+func TestDropUnusedEvictsMaintenanceBurdens(t *testing.T) {
+	w := writeGen(t, 0.4, 71)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	opt := whatif.New(m)
+	res, err := Select(w, opt, Options{Budget: m.Budget(0.5), DropUnused: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every survivor must be net load-bearing: removal must not reduce cost.
+	for _, k := range res.Selection.Sorted() {
+		reduced := res.Selection.Clone()
+		reduced.Remove(k)
+		if m.TotalCost(reduced) < res.Cost-1e-6 {
+			t.Errorf("removing %v reduces total cost: DropUnused missed it", k)
+		}
+	}
+}

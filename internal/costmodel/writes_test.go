@@ -1,0 +1,109 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// writeWorkload: one table with a select, an insert and an update template.
+func writeWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	tables := []workload.Table{{ID: 0, Name: "T", Rows: 1024, Attrs: []int{0, 1, 2}}}
+	attrs := []workload.Attribute{
+		{ID: 0, Table: 0, Name: "T.a", Distinct: 16, ValueSize: 4},
+		{ID: 1, Table: 0, Name: "T.b", Distinct: 256, ValueSize: 8},
+		{ID: 2, Table: 0, Name: "T.c", Distinct: 64, ValueSize: 4},
+	}
+	queries := []workload.Query{
+		{ID: 0, Table: 0, Attrs: []int{0, 1}, Freq: 10, Kind: workload.Select},
+		{ID: 1, Table: 0, Attrs: []int{0, 1, 2}, Freq: 5, Kind: workload.Insert},
+		{ID: 2, Table: 0, Attrs: []int{1}, Freq: 3, Kind: workload.Update},
+	}
+	w, err := workload.New(tables, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestInsertBaseCost(t *testing.T) {
+	w := writeWorkload(t)
+	m := New(w, SingleIndex)
+	// Insert writes one row: 4 + 8 + 4 = 16 bytes, regardless of indexes.
+	if got := m.BaseCost(w.Queries[1]); got != 16 {
+		t.Errorf("insert base cost = %v, want 16", got)
+	}
+	k := workload.MustIndex(w, 0)
+	if got := m.CostWithIndex(w.Queries[1], k); got != 16 {
+		t.Errorf("insert CostWithIndex = %v, want base 16 (no read path)", got)
+	}
+}
+
+func TestMaintenanceCostHandComputed(t *testing.T) {
+	w := writeWorkload(t)
+	m := New(w, SingleIndex)
+	k := workload.MustIndex(w, 0) // n=1024, a=4, d=16
+	// Insert maintains every index on the table:
+	// log2(1024) + 4*log2(16) + keyBytes(4) + 4 = 10 + 16 + 8 = 34.
+	if got := m.MaintenanceCost(w.Queries[1], k); math.Abs(got-34) > 1e-9 {
+		t.Errorf("insert maintenance = %v, want 34", got)
+	}
+	// Update touches attr 1 only: index on attr 0 untouched.
+	if got := m.MaintenanceCost(w.Queries[2], k); got != 0 {
+		t.Errorf("update maintenance on untouched index = %v, want 0", got)
+	}
+	// Index on attr 1 (a=8, d=256): update pays twice.
+	k1 := workload.MustIndex(w, 1)
+	// per maintenance: 10 + 8*8 + 8 + 4 = 86; update: 172.
+	if got := m.MaintenanceCost(w.Queries[2], k1); math.Abs(got-172) > 1e-9 {
+		t.Errorf("update maintenance = %v, want 172", got)
+	}
+	// Selects never maintain.
+	if got := m.MaintenanceCost(w.Queries[0], k1); got != 0 {
+		t.Errorf("select maintenance = %v, want 0", got)
+	}
+}
+
+func TestQueryCostIncludesMaintenance(t *testing.T) {
+	w := writeWorkload(t)
+	m := New(w, SingleIndex)
+	k0, k1 := workload.MustIndex(w, 0), workload.MustIndex(w, 1)
+	sel := workload.NewSelection(k0, k1)
+
+	// Insert: base + maintenance of both indexes.
+	want := m.BaseCost(w.Queries[1]) + m.MaintenanceCost(w.Queries[1], k0) + m.MaintenanceCost(w.Queries[1], k1)
+	if got := m.QueryCost(w.Queries[1], sel); math.Abs(got-want) > 1e-9 {
+		t.Errorf("insert QueryCost = %v, want %v", got, want)
+	}
+	// Update: locate via best index + maintenance of the touched index.
+	locate := m.CostWithIndex(w.Queries[2], k1)
+	want = locate + m.MaintenanceCost(w.Queries[2], k1)
+	if got := m.QueryCost(w.Queries[2], sel); math.Abs(got-want) > 1e-9 {
+		t.Errorf("update QueryCost = %v, want %v", got, want)
+	}
+	// Selects unchanged by the write machinery.
+	if got, want := m.QueryCost(w.Queries[0], sel), m.CostWithIndex(w.Queries[0], workload.MustIndex(w, 0)); got > want {
+		t.Errorf("select QueryCost = %v, want <= %v", got, want)
+	}
+}
+
+func TestWritesCanMakeIndexesNetHarmful(t *testing.T) {
+	// A write-only workload: any index strictly increases total cost.
+	tables := []workload.Table{{ID: 0, Name: "T", Rows: 4096, Attrs: []int{0}}}
+	attrs := []workload.Attribute{{ID: 0, Table: 0, Name: "T.a", Distinct: 64, ValueSize: 4}}
+	queries := []workload.Query{
+		{ID: 0, Table: 0, Attrs: []int{0}, Freq: 100, Kind: workload.Insert},
+	}
+	w, err := workload.New(tables, attrs, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(w, SingleIndex)
+	empty := m.TotalCost(workload.NewSelection())
+	indexed := m.TotalCost(workload.NewSelection(workload.MustIndex(w, 0)))
+	if indexed <= empty {
+		t.Errorf("index on write-only workload should cost: empty %v, indexed %v", empty, indexed)
+	}
+}

@@ -1,0 +1,342 @@
+// Package engine is an in-memory column-store execution engine: the
+// stand-in for the commercial columnar main-memory DBMS of the paper's
+// end-to-end evaluation (Section IV-B).
+//
+// It materializes real data for a workload (one int32 column per attribute,
+// values uniform over the attribute's distinct count), builds composite
+// secondary indexes as key-sorted row permutations, and executes conjunctive
+// equality queries either by index probe (binary-searched prefix range plus
+// positional residual filtering) or by full column scans. Execution reports
+// the bytes actually touched and the wall-clock time; the deterministic
+// bytes-touched figure is the default cost metric, matching the paper's
+// memory-traffic cost notion while staying reproducible on shared hardware.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// DB holds the materialized columns of a workload's tables.
+type DB struct {
+	w      *workload.Workload
+	tables []*tableData
+}
+
+type tableData struct {
+	rows int
+	// cols maps the table-local attribute position to its column values.
+	cols map[int][]int32 // keyed by global attribute ID
+}
+
+// MaxRows bounds the total materialized rows to keep engine instances within
+// laptop-scale memory; New fails beyond it.
+const MaxRows = 20_000_000
+
+// New materializes data for every table of w. Column values for attribute i
+// are uniform over [0, d_i), generated deterministically from the seed.
+func New(w *workload.Workload, seed int64) (*DB, error) {
+	var total int64
+	for _, t := range w.Tables {
+		total += t.Rows
+	}
+	if total > MaxRows {
+		return nil, fmt.Errorf("engine: workload has %d total rows, above the %d limit — scale the workload down", total, MaxRows)
+	}
+	db := &DB{w: w}
+	r := rand.New(rand.NewSource(seed))
+	for _, t := range w.Tables {
+		td := &tableData{rows: int(t.Rows), cols: make(map[int][]int32, len(t.Attrs))}
+		for _, a := range t.Attrs {
+			attr := w.Attr(a)
+			col := make([]int32, td.rows)
+			d := attr.Distinct
+			for i := range col {
+				col[i] = int32(r.Int63n(d))
+			}
+			td.cols[a] = col
+		}
+		db.tables = append(db.tables, td)
+	}
+	return db, nil
+}
+
+// Workload returns the workload the data was built for.
+func (db *DB) Workload() *workload.Workload { return db.w }
+
+// Rows returns the row count of table t.
+func (db *DB) Rows(t int) int { return db.tables[t].rows }
+
+// Column returns the raw values of a global attribute. Shared storage; do
+// not modify.
+func (db *DB) Column(attr int) []int32 {
+	return db.tables[db.w.TableOf(attr)].cols[attr]
+}
+
+// SecondaryIndex is a composite index: the table's row IDs sorted by the key
+// attributes (lexicographically), enabling binary-searched prefix ranges.
+type SecondaryIndex struct {
+	Key  workload.Index
+	perm []int32
+	db   *DB
+}
+
+// BuildIndex sorts a row permutation by the index's key attributes.
+func (db *DB) BuildIndex(k workload.Index) *SecondaryIndex {
+	td := db.tables[k.Table]
+	perm := make([]int32, td.rows)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	cols := make([][]int32, len(k.Attrs))
+	for i, a := range k.Attrs {
+		cols[i] = td.cols[a]
+	}
+	sort.Slice(perm, func(x, y int) bool {
+		rx, ry := perm[x], perm[y]
+		for _, col := range cols {
+			if col[rx] != col[ry] {
+				return col[rx] < col[ry]
+			}
+		}
+		return rx < ry
+	})
+	return &SecondaryIndex{Key: k, perm: perm, db: db}
+}
+
+// SizeBytes reports the index's memory footprint: the permutation (4 bytes
+// per row) plus a copy of each key column.
+func (ix *SecondaryIndex) SizeBytes() int64 {
+	rows := int64(len(ix.perm))
+	size := 4 * rows
+	for _, a := range ix.Key.Attrs {
+		size += int64(ix.db.w.Attr(a).ValueSize) * rows
+	}
+	return size
+}
+
+// prefixRange binary-searches the permutation for the rows whose first
+// len(vals) key attributes equal vals, returning the half-open range and the
+// number of comparison steps (for cost accounting).
+func (ix *SecondaryIndex) prefixRange(vals []int32) (lo, hi, steps int) {
+	cols := make([][]int32, len(vals))
+	for i := range vals {
+		cols[i] = ix.db.tables[ix.Key.Table].cols[ix.Key.Attrs[i]]
+	}
+	cmp := func(row int32) int {
+		for i, col := range cols {
+			if col[row] != vals[i] {
+				if col[row] < vals[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	lo = sort.Search(len(ix.perm), func(i int) bool {
+		steps++
+		return cmp(ix.perm[i]) >= 0
+	})
+	hi = sort.Search(len(ix.perm), func(i int) bool {
+		steps++
+		return cmp(ix.perm[i]) > 0
+	})
+	return lo, hi, steps
+}
+
+// Predicate is one conjunctive equality condition.
+type Predicate struct {
+	Attr  int
+	Value int32
+}
+
+// PointQuery is an executable instantiation of a workload query template:
+// one equality predicate per accessed attribute.
+type PointQuery struct {
+	Table int
+	Preds []Predicate
+}
+
+// Instantiate derives an executable point query from a template by taking
+// the attribute values of a deterministic existing row — guaranteeing a
+// non-empty, realistically correlated result.
+func (db *DB) Instantiate(q workload.Query, seed int64) PointQuery {
+	td := db.tables[q.Table]
+	r := rand.New(rand.NewSource(seed ^ int64(q.ID)*2654435761))
+	row := r.Intn(td.rows)
+	pq := PointQuery{Table: q.Table}
+	for _, a := range q.Attrs {
+		pq.Preds = append(pq.Preds, Predicate{Attr: a, Value: td.cols[a][row]})
+	}
+	return pq
+}
+
+// Measurement reports an execution's result size and cost.
+type Measurement struct {
+	// Rows is the number of qualifying rows.
+	Rows int
+	// BytesTouched is the deterministic work metric: bytes of column data,
+	// permutation entries and position-list traffic read or written.
+	BytesTouched int64
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Executor runs point queries against the database under a set of available
+// secondary indexes.
+type Executor struct {
+	db      *DB
+	indexes map[string]*SecondaryIndex
+}
+
+// NewExecutor returns an executor with the given available indexes.
+func NewExecutor(db *DB, indexes ...*SecondaryIndex) *Executor {
+	e := &Executor{db: db, indexes: make(map[string]*SecondaryIndex, len(indexes))}
+	for _, ix := range indexes {
+		e.indexes[ix.Key.Key()] = ix
+	}
+	return e
+}
+
+// AddIndex makes an index available to the executor.
+func (e *Executor) AddIndex(ix *SecondaryIndex) { e.indexes[ix.Key.Key()] = ix }
+
+// RemoveIndex drops an index from the executor.
+func (e *Executor) RemoveIndex(k workload.Index) { delete(e.indexes, k.Key()) }
+
+// Run executes the point query: it picks the applicable index with the
+// smallest estimated result (longest usable prefix by combined selectivity,
+// as in Appendix B step 1), probes it, then filters the remaining predicates
+// positionally; with no applicable index it scans columns in ascending
+// selectivity order.
+func (e *Executor) Run(pq PointQuery) Measurement {
+	start := time.Now()
+	var bytes int64
+	w := e.db.w
+	td := e.db.tables[pq.Table]
+
+	predOf := make(map[int]int32, len(pq.Preds))
+	for _, p := range pq.Preds {
+		predOf[p.Attr] = p.Value
+	}
+
+	// Choose the best applicable index: longest coverable prefix, smallest
+	// estimated selectivity product.
+	var (
+		best       *SecondaryIndex
+		bestPrefix []int
+		bestSel    = 2.0
+	)
+	for _, ix := range e.indexes {
+		if ix.Key.Table != pq.Table {
+			continue
+		}
+		var prefix []int
+		for _, a := range ix.Key.Attrs {
+			if _, ok := predOf[a]; !ok {
+				break
+			}
+			prefix = append(prefix, a)
+		}
+		if len(prefix) == 0 {
+			continue
+		}
+		sel := 1.0
+		for _, a := range prefix {
+			sel *= w.Attr(a).Selectivity()
+		}
+		if sel < bestSel || (sel == bestSel && best != nil && ix.Key.Key() < best.Key.Key()) {
+			best, bestPrefix, bestSel = ix, prefix, sel
+		}
+	}
+
+	var positions []int32
+	remaining := make([]int, 0, len(pq.Preds))
+	if best != nil {
+		vals := make([]int32, len(bestPrefix))
+		for i, a := range bestPrefix {
+			vals[i] = predOf[a]
+		}
+		lo, hi, steps := best.prefixRange(vals)
+		// Each binary-search step reads one permutation entry plus the
+		// compared key bytes.
+		var keyBytes int64
+		for _, a := range bestPrefix {
+			keyBytes += int64(w.Attr(a).ValueSize)
+		}
+		bytes += int64(steps) * (4 + keyBytes)
+		positions = append(positions, best.perm[lo:hi]...)
+		bytes += int64(hi-lo) * 4 // reading the qualifying position range
+		covered := make(map[int]bool, len(bestPrefix))
+		for _, a := range bestPrefix {
+			covered[a] = true
+		}
+		for _, p := range pq.Preds {
+			if !covered[p.Attr] {
+				remaining = append(remaining, p.Attr)
+			}
+		}
+		// Positional residual filtering.
+		for _, a := range remaining {
+			col := td.cols[a]
+			v := predOf[a]
+			out := positions[:0]
+			for _, pos := range positions {
+				if col[pos] == v {
+					out = append(out, pos)
+				}
+			}
+			bytes += int64(len(positions)) * int64(w.Attr(a).ValueSize)
+			bytes += int64(len(out)) * 4
+			positions = out
+		}
+	} else {
+		// Full scan: filter columns in ascending selectivity order.
+		attrs := make([]int, 0, len(pq.Preds))
+		for _, p := range pq.Preds {
+			attrs = append(attrs, p.Attr)
+		}
+		sort.Slice(attrs, func(i, j int) bool {
+			si, sj := w.Attr(attrs[i]).Selectivity(), w.Attr(attrs[j]).Selectivity()
+			if si != sj {
+				return si < sj
+			}
+			return attrs[i] < attrs[j]
+		})
+		first := true
+		for _, a := range attrs {
+			col := td.cols[a]
+			v := predOf[a]
+			if first {
+				for row := 0; row < td.rows; row++ {
+					if col[row] == v {
+						positions = append(positions, int32(row))
+					}
+				}
+				bytes += int64(td.rows) * int64(w.Attr(a).ValueSize)
+				bytes += int64(len(positions)) * 4
+				first = false
+				continue
+			}
+			out := positions[:0]
+			for _, pos := range positions {
+				if col[pos] == v {
+					out = append(out, pos)
+				}
+			}
+			bytes += int64(len(positions)) * int64(w.Attr(a).ValueSize)
+			bytes += int64(len(out)) * 4
+			positions = out
+		}
+	}
+	return Measurement{
+		Rows:         len(positions),
+		BytesTouched: bytes,
+		Elapsed:      time.Since(start),
+	}
+}

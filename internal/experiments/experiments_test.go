@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastConfig keeps every experiment in the seconds range for tests.
+func fastConfig(t *testing.T) (Config, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	return Config{
+		Out:             &buf,
+		OutDir:          t.TempDir(),
+		Scale:           0.02,
+		SolverTimeLimit: 2 * time.Second,
+		Seed:            1,
+	}, &buf
+}
+
+func TestRunnersListed(t *testing.T) {
+	names := map[string]bool{}
+	for _, r := range Runners() {
+		if r.Name == "" || r.Desc == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if names[r.Name] {
+			t.Errorf("duplicate runner %q", r.Name)
+		}
+		names[r.Name] = true
+	}
+	for _, want := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "whatif"} {
+		if !names[want] {
+			t.Errorf("runner %q missing", want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := Run("nope", Config{Out: &bytes.Buffer{}}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig1TPCCTrace(t *testing.T) {
+	cfg, buf := fastConfig(t)
+	if err := Fig1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "extend") {
+		t.Error("fig1 trace has no morphing steps")
+	}
+	if !strings.Contains(out, "STOCK") || !strings.Contains(out, "ORD") {
+		t.Error("fig1 coverage table missing TPC-C tables")
+	}
+	// CSVs written.
+	if _, err := os.Stat(filepath.Join(cfg.OutDir, "fig1_tpcc_trace.csv")); err != nil {
+		t.Errorf("missing CSV: %v", err)
+	}
+}
+
+func TestFig6LinearGrowth(t *testing.T) {
+	cfg, _ := fastConfig(t)
+	if err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(cfg.OutDir, "fig6_lp_size.csv"))
+	if len(rows) < 11 {
+		t.Fatalf("fig6 CSV has %d rows", len(rows))
+	}
+	// Variables at share 1.0 about 10x share 0.1 (linear growth).
+	v10 := atof(t, rows[1][2])
+	v100 := atof(t, rows[10][2])
+	if ratio := v100 / v10; ratio < 7 || ratio > 13 {
+		t.Errorf("variables grew %vx from 10%% to 100%%, want ~10x", ratio)
+	}
+}
+
+func TestWhatIfAccounting(t *testing.T) {
+	cfg, _ := fastConfig(t)
+	if err := WhatIfCalls(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(cfg.OutDir, "whatif_calls.csv"))
+	for _, row := range rows[1:] {
+		h6 := atof(t, row[2])
+		bound := atof(t, row[3]) // 2*Q*qbar
+		if h6 > 6*bound {
+			t.Errorf("H6 calls %v far above 2*Q*qbar %v", h6, bound)
+		}
+		cophyCalls := atof(t, row[5])
+		cands := atof(t, row[4])
+		// CoPhy's calls grow with |I|: at 1000 candidates they must exceed
+		// H6's asymptotic bound scaling.
+		if cands >= 1000 && cophyCalls < bound {
+			t.Errorf("CoPhy calls %v unexpectedly below 2*Q*qbar %v at |I|=%v", cophyCalls, bound, cands)
+		}
+	}
+}
+
+func TestTable1ShapeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg, buf := fastConfig(t)
+	// Shrink the sweep via scale; ensure it completes and emits rows.
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "table1_runtimes") {
+		t.Error("table1 output missing")
+	}
+	rows := readCSV(t, filepath.Join(cfg.OutDir, "table1_runtimes.csv"))
+	if len(rows) < 2 {
+		t.Fatalf("table1 CSV has %d rows", len(rows))
+	}
+}
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		rows = append(rows, strings.Split(line, ","))
+	}
+	return rows
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

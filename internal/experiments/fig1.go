@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Fig1 replays the paper's Figure 1: Algorithm 1's construction steps on the
+// aggregated TPC-C templates, including which queries each index can cover
+// and the runner-up ("potential enhancement") of every step.
+func Fig1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	w, err := workload.TPCC(100)
+	if err != nil {
+		return err
+	}
+	m := costmodel.New(w, costmodel.SingleIndex)
+	opt := whatif.New(m)
+	res, err := core.Select(w, opt, core.Options{
+		Budget:          m.Budget(0.9),
+		MaxSteps:        17,
+		TrackSecondBest: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := newTable("fig1_tpcc_trace", "step", "kind", "index", "ratio", "cost_after", "mem_after_MB")
+	name := func(k workload.Index) string {
+		s := w.Tables[k.Table].Name + "("
+		for i, a := range k.Attrs {
+			if i > 0 {
+				s += ","
+			}
+			s += w.Attr(a).Name
+		}
+		return s + ")"
+	}
+	for i, s := range res.Steps {
+		label := name(s.Index)
+		if s.Replaced != nil {
+			label = name(*s.Replaced) + " + append"
+			last := s.Index.Attrs[len(s.Index.Attrs)-1]
+			label += " " + w.Attr(last).Name
+		}
+		t.addf("%d|%s|%s|%.4g|%.4g|%.2f",
+			i+1, s.Kind, label, s.Ratio, s.CostAfter, float64(s.MemAfter)/1e6)
+	}
+	if err := t.render(cfg.Out, cfg.OutDir); err != nil {
+		return err
+	}
+
+	cov := newTable("fig1_coverage", "index", "coverable_queries")
+	for _, ix := range res.Selection.Sorted() {
+		var qs string
+		for _, q := range w.Queries {
+			if q.Table == ix.Table && q.Accesses(ix.Leading()) {
+				if qs != "" {
+					qs += " "
+				}
+				qs += fmt.Sprintf("q%d", q.ID+1)
+			}
+		}
+		cov.add(name(ix), qs)
+	}
+	if err := cov.render(cfg.Out, cfg.OutDir); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nshape check: multi-attribute indexes constructed by morphing = %d of %d steps; final improvement %.1f%%\n",
+		countKind(res.Steps, core.StepExtend), len(res.Steps),
+		100*(res.InitialCost-res.Cost)/res.InitialCost)
+	return nil
+}
+
+func countKind(steps []core.Step, kind core.StepKind) int {
+	n := 0
+	for _, s := range steps {
+		if s.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,85 @@
+// Package frontier provides Pareto-frontier utilities for comparing index
+// selections in the (memory, cost) plane — the coordinate system of the
+// paper's Figures 2-5.
+package frontier
+
+import "sort"
+
+// Point is one (memory, cost) combination.
+type Point struct {
+	Memory int64
+	Cost   float64
+}
+
+// Pareto returns the Pareto-efficient subset of points (no other point has
+// both memory <= and cost <= with one strict), sorted by ascending memory.
+func Pareto(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Memory != sorted[j].Memory {
+			return sorted[i].Memory < sorted[j].Memory
+		}
+		return sorted[i].Cost < sorted[j].Cost
+	})
+	var out []Point
+	bestCost := sorted[0].Cost + 1
+	for _, p := range sorted {
+		if p.Cost < bestCost {
+			out = append(out, p)
+			bestCost = p.Cost
+		}
+	}
+	return out
+}
+
+// CostAt returns the best (lowest) cost achievable within the given memory
+// budget by any point of the frontier, or fallback when no point fits.
+func CostAt(points []Point, budget int64, fallback float64) float64 {
+	best := fallback
+	for _, p := range points {
+		if p.Memory <= budget && p.Cost < best {
+			best = p.Cost
+		}
+	}
+	return best
+}
+
+// MeanRelativeGap compares a curve against a reference at the given budgets:
+// the average of (cost - refCost)/refCost over all budgets, using each
+// curve's best point within the budget. Positive means the curve is worse
+// than the reference. Both curves fall back to base for budgets below their
+// first point.
+func MeanRelativeGap(curve, ref []Point, budgets []int64, base float64) float64 {
+	if len(budgets) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range budgets {
+		c := CostAt(curve, b, base)
+		r := CostAt(ref, b, base)
+		if r > 0 {
+			sum += (c - r) / r
+		}
+	}
+	return sum / float64(len(budgets))
+}
+
+// Dominates reports whether curve a is at least as good as curve b at every
+// budget (within tolerance tol, relative), and strictly better at one.
+func Dominates(a, b []Point, budgets []int64, base float64, tol float64) bool {
+	strict := false
+	for _, bud := range budgets {
+		ca := CostAt(a, bud, base)
+		cb := CostAt(b, bud, base)
+		if ca > cb*(1+tol) {
+			return false
+		}
+		if ca < cb*(1-tol) {
+			strict = true
+		}
+	}
+	return strict
+}

@@ -1,0 +1,112 @@
+package frontier
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPareto(t *testing.T) {
+	pts := []Point{
+		{100, 50}, {200, 40}, {150, 60}, {200, 45}, {300, 40}, {50, 90},
+	}
+	got := Pareto(pts)
+	want := []Point{{50, 90}, {100, 50}, {200, 40}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Pareto = %v, want %v", got, want)
+	}
+	if Pareto(nil) != nil {
+		t.Error("Pareto(nil) != nil")
+	}
+}
+
+func TestCostAt(t *testing.T) {
+	pts := []Point{{100, 50}, {200, 40}}
+	cases := []struct {
+		budget int64
+		want   float64
+	}{
+		{50, 99}, {100, 50}, {150, 50}, {200, 40}, {1000, 40},
+	}
+	for _, tc := range cases {
+		if got := CostAt(pts, tc.budget, 99); got != tc.want {
+			t.Errorf("CostAt(%d) = %v, want %v", tc.budget, got, tc.want)
+		}
+	}
+}
+
+func TestMeanRelativeGap(t *testing.T) {
+	ref := []Point{{100, 100}, {200, 50}}
+	worse := []Point{{100, 110}, {200, 60}}
+	gap := MeanRelativeGap(worse, ref, []int64{100, 200}, 1000)
+	want := (0.1 + 0.2) / 2
+	if diff := gap - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("MeanRelativeGap = %v, want %v", gap, want)
+	}
+	if MeanRelativeGap(ref, ref, []int64{100, 200}, 1000) != 0 {
+		t.Error("self gap not zero")
+	}
+	if MeanRelativeGap(ref, ref, nil, 1000) != 0 {
+		t.Error("empty budgets not zero")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := []Point{{100, 50}, {200, 30}}
+	b := []Point{{100, 60}, {200, 40}}
+	budgets := []int64{100, 200}
+	if !Dominates(a, b, budgets, 1000, 0.01) {
+		t.Error("a should dominate b")
+	}
+	if Dominates(b, a, budgets, 1000, 0.01) {
+		t.Error("b should not dominate a")
+	}
+	if Dominates(a, a, budgets, 1000, 0.01) {
+		t.Error("a should not strictly dominate itself")
+	}
+}
+
+// TestParetoProperties: the Pareto set is sorted, subset of the input, and
+// no member is dominated by any input point.
+func TestParetoProperties(t *testing.T) {
+	f := func(raw [12]struct {
+		M uint16
+		C uint16
+	}) bool {
+		pts := make([]Point, len(raw))
+		for i, r := range raw {
+			pts[i] = Point{int64(r.M), float64(r.C) + 1}
+		}
+		par := Pareto(pts)
+		if !sort.SliceIsSorted(par, func(i, j int) bool { return par[i].Memory < par[j].Memory }) {
+			return false
+		}
+		for _, p := range par {
+			// Must appear in input.
+			found := false
+			for _, q := range pts {
+				if q == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+			// Not dominated by any input point.
+			for _, q := range pts {
+				if q.Memory <= p.Memory && q.Cost < p.Cost {
+					return false
+				}
+				if q.Memory < p.Memory && q.Cost <= p.Cost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package heuristics implements the rule-based and performance-based index
+// selection heuristics H1-H5 of the paper's Definition 1:
+//
+//	H1: most frequently used attributes (occurrences g_i)
+//	H2: smallest selectivity
+//	H3: smallest selectivity-to-occurrences ratio
+//	H4: best absolute performance, optionally skyline-filtered
+//	    (Kimura et al. / Microsoft SQL Server advisor)
+//	H5: best performance-per-size ratio
+//	    (Valentin et al. / IBM DB2 advisor starting solution)
+//
+// All heuristics greedily pick from an explicit candidate set while the
+// memory budget allows; candidates that do not fit are skipped and the scan
+// continues with the next-ranked candidate. H1-H3 need no what-if calls;
+// H4/H5 require the per-candidate benefit, i.e. a what-if call for every
+// applicable (query, candidate) pair — the scaling weakness the paper
+// attributes to them.
+package heuristics
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Rule identifies a Definition-1 selection heuristic.
+type Rule int
+
+const (
+	// H1 ranks by descending frequency-weighted co-occurrence of the
+	// candidate's attributes.
+	H1 Rule = iota + 1
+	// H2 ranks by ascending combined selectivity.
+	H2
+	// H3 ranks by ascending selectivity/occurrences ratio.
+	H3
+	// H4 ranks by descending total benefit (absolute performance).
+	H4
+	// H5 ranks by descending benefit per byte of index size.
+	H5
+)
+
+func (r Rule) String() string {
+	switch r {
+	case H1:
+		return "H1"
+	case H2:
+		return "H2"
+	case H3:
+		return "H3"
+	case H4:
+		return "H4"
+	case H5:
+		return "H5"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Options configures a heuristic run.
+type Options struct {
+	// Budget is the memory budget A in bytes (must be positive).
+	Budget int64
+	// Skyline applies the per-query dominance pre-filter to the candidate
+	// set before greedy selection (H4 variant of Kimura et al.): a candidate
+	// survives if, for at least one query, no other candidate is at least as
+	// good in cost and size and strictly better in one.
+	Skyline bool
+}
+
+// Result is a heuristic's selection with its evaluation.
+type Result struct {
+	Selection workload.Selection
+	// Cost is F(I*) under the optimizer's cost source (single-index mode).
+	Cost float64
+	// Memory is P(I*).
+	Memory int64
+	// Considered is the number of candidates ranked after any pre-filter.
+	Considered int
+}
+
+// Select runs the given heuristic over the candidate set.
+func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, rule Rule, opts Options) (*Result, error) {
+	if opts.Budget <= 0 {
+		return nil, fmt.Errorf("heuristics: budget must be positive (got %d)", opts.Budget)
+	}
+	if rule < H1 || rule > H5 {
+		return nil, fmt.Errorf("heuristics: unknown rule %d", int(rule))
+	}
+	pool := cands
+	if opts.Skyline {
+		pool = SkylineFilter(w, opt, pool)
+	}
+	scores := score(w, opt, pool, rule)
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib] // higher score first
+		}
+		return pool[ia].Key() < pool[ib].Key()
+	})
+
+	sel := workload.NewSelection()
+	var mem int64
+	for _, i := range order {
+		k := pool[i]
+		if sel.Has(k) {
+			continue
+		}
+		// Benefit-based rules never take net-harmful candidates (negative
+		// score means maintenance outweighs the read improvement).
+		if (rule == H4 || rule == H5) && scores[i] <= 0 {
+			continue
+		}
+		sz := opt.IndexSize(k)
+		if mem+sz > opts.Budget {
+			continue
+		}
+		sel.Add(k)
+		mem += sz
+	}
+	return &Result{
+		Selection:  sel,
+		Cost:       TotalCost(w, opt, sel),
+		Memory:     mem,
+		Considered: len(pool),
+	}, nil
+}
+
+// score computes a "higher is better" score per candidate for the rule.
+func score(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, rule Rule) []float64 {
+	scores := make([]float64, len(cands))
+	switch rule {
+	case H1, H2, H3:
+		weights := coOccurrence(w, cands)
+		for i, k := range cands {
+			s := 1.0
+			for _, a := range k.Attrs {
+				s *= w.Attr(a).Selectivity()
+			}
+			switch rule {
+			case H1:
+				scores[i] = float64(weights[i])
+			case H2:
+				scores[i] = -s
+			default: // H3
+				if weights[i] == 0 {
+					scores[i] = -s * 1e18 // unused combination: worst
+				} else {
+					scores[i] = -s / float64(weights[i])
+				}
+			}
+		}
+	case H4, H5:
+		for i, k := range cands {
+			b := Benefit(w, opt, k)
+			if rule == H4 {
+				scores[i] = b
+			} else {
+				scores[i] = b / float64(opt.IndexSize(k))
+			}
+		}
+	}
+	return scores
+}
+
+// coOccurrence returns, per candidate, the frequency-weighted number of
+// queries containing all of its attributes.
+func coOccurrence(w *workload.Workload, cands []workload.Index) []int64 {
+	weights := make([]int64, len(cands))
+	for i, k := range cands {
+		for _, qid := range queriesWithLead(w, k) {
+			q := w.Queries[qid]
+			all := true
+			for _, a := range k.Attrs {
+				if !q.Accesses(a) {
+					all = false
+					break
+				}
+			}
+			if all {
+				weights[i] += q.Freq
+			}
+		}
+	}
+	return weights
+}
+
+func queriesWithLead(w *workload.Workload, k workload.Index) []int {
+	var ids []int
+	for _, q := range w.Queries {
+		if q.Table == k.Table && q.Accesses(k.Leading()) {
+			ids = append(ids, q.ID)
+		}
+	}
+	return ids
+}
+
+// Benefit returns the candidate's individually measured total improvement
+// sum_j b_j * max(0, f_j(0) - f_j(k)) minus its frequency-weighted write
+// maintenance burden — the IIA-blind (net) benefit H4/H5 rank by. It can be
+// negative for write-heavy workloads; such candidates are never selected.
+func Benefit(w *workload.Workload, opt *whatif.Optimizer, k workload.Index) float64 {
+	var b float64
+	for _, qid := range queriesWithLead(w, k) {
+		q := w.Queries[qid]
+		base := opt.BaseCost(q)
+		if c := opt.CostWithIndex(q, k); c < base {
+			b += float64(q.Freq) * (base - c)
+		}
+	}
+	return b - WriteCost(w, opt, k)
+}
+
+// WriteCost returns the frequency-weighted maintenance burden the workload's
+// write templates impose on index k.
+func WriteCost(w *workload.Workload, opt *whatif.Optimizer, k workload.Index) float64 {
+	var c float64
+	for _, q := range w.Queries {
+		if q.IsWrite() {
+			c += float64(q.Freq) * opt.MaintenanceCost(q, k)
+		}
+	}
+	return c
+}
+
+// TotalCost evaluates F(I*) in the single-index setting using the
+// optimizer's cached per-index costs, including the maintenance cost write
+// templates pay for every selected index they touch.
+func TotalCost(w *workload.Workload, opt *whatif.Optimizer, sel workload.Selection) float64 {
+	var total float64
+	for _, q := range w.Queries {
+		best := opt.BaseCost(q)
+		for _, k := range sel {
+			if !workload.Applicable(q, k) {
+				continue
+			}
+			if c := opt.CostWithIndex(q, k); c < best {
+				best = c
+			}
+		}
+		if q.IsWrite() {
+			for _, k := range sel {
+				best += opt.MaintenanceCost(q, k)
+			}
+		}
+		total += float64(q.Freq) * best
+	}
+	return total
+}
+
+// SkylineFilter keeps candidates that are per-query efficient for at least
+// one query: candidate k survives if there is a query q (to which k is
+// applicable with f_q(k) < f_q(0)) where no other candidate has both cost
+// and size at most k's with one strictly better (cf. Kimura et al. [11]).
+func SkylineFilter(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index) []workload.Index {
+	type entry struct {
+		idx  int
+		cost float64
+		size int64
+	}
+	survives := make([]bool, len(cands))
+	byQuery := make(map[int][]entry)
+	for i, k := range cands {
+		for _, qid := range queriesWithLead(w, k) {
+			q := w.Queries[qid]
+			c := opt.CostWithIndex(q, k)
+			if c < opt.BaseCost(q) {
+				byQuery[qid] = append(byQuery[qid], entry{i, c, opt.IndexSize(k)})
+			}
+		}
+	}
+	for _, entries := range byQuery {
+		// Sweep by ascending cost; an entry is on the skyline iff its size
+		// is strictly below every cheaper-or-equal-cost entry seen so far.
+		sort.Slice(entries, func(a, b int) bool {
+			if entries[a].cost != entries[b].cost {
+				return entries[a].cost < entries[b].cost
+			}
+			return entries[a].size < entries[b].size
+		})
+		minSize := int64(1<<62 - 1)
+		for _, e := range entries {
+			if e.size < minSize {
+				survives[e.idx] = true
+				minSize = e.size
+			}
+		}
+	}
+	var out []workload.Index
+	for i, ok := range survives {
+		if ok {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}

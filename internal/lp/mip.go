@@ -1,0 +1,229 @@
+package lp
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// MIPOptions controls branch and bound.
+type MIPOptions struct {
+	// Gap is the relative optimality gap at which the search stops
+	// (e.g. 0.05 mirrors the paper's mipgap=0.05 CPLEX setting). Zero means
+	// solve to proven optimality.
+	Gap float64
+	// Deadline aborts the search; the incumbent (if any) is returned with
+	// DNF set. Zero means no deadline.
+	Deadline time.Time
+	// MaxNodes bounds the number of explored nodes; 0 means unlimited.
+	MaxNodes int
+}
+
+// MIPResult is the outcome of SolveMIP.
+type MIPResult struct {
+	Solution
+	// Bound is the best proven lower bound on the optimum.
+	Bound float64
+	// Gap is the final relative gap between incumbent and bound.
+	Gap float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// DNF reports that the deadline or node limit was hit before the gap
+	// was proven ("did not finish", Table I).
+	DNF bool
+}
+
+// SolveMIP minimizes m with integrality enforced on its integer variables,
+// using LP-relaxation-based branch and bound (best-first on node bounds,
+// branching on the most fractional integer variable).
+func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
+	root, err := solveWithExtra(m, nil, opts.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	if root.Status != Optimal {
+		res := &MIPResult{Solution: *root}
+		if root.Status == IterationLimit && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			res.DNF = true
+		}
+		return res, nil
+	}
+
+	type node struct {
+		extra []Constraint
+		bound float64
+	}
+	res := &MIPResult{
+		Solution: Solution{Status: Infeasible},
+		Bound:    root.Objective,
+	}
+	res.Objective = math.Inf(1)
+	iters := root.Iterations
+
+	open := []node{{bound: root.Objective}}
+	popBest := func() node {
+		best := 0
+		for i := range open {
+			if open[i].bound < open[best].bound {
+				best = i
+			}
+		}
+		n := open[best]
+		open[best] = open[len(open)-1]
+		open = open[:len(open)-1]
+		return n
+	}
+
+	gapOK := func() bool {
+		if math.IsInf(res.Objective, 1) {
+			return false
+		}
+		if res.Objective == 0 {
+			return res.Bound >= -1e-9
+		}
+		return (res.Objective-res.Bound)/math.Abs(res.Objective) <= opts.Gap+1e-12
+	}
+
+	for len(open) > 0 {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			res.DNF = true
+			break
+		}
+		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
+			res.DNF = true
+			break
+		}
+		// The best open bound is the proven global lower bound.
+		lowest := math.Inf(1)
+		for i := range open {
+			if open[i].bound < lowest {
+				lowest = open[i].bound
+			}
+		}
+		if lowest > res.Bound {
+			res.Bound = math.Min(lowest, res.Objective)
+		}
+		if gapOK() {
+			break
+		}
+
+		nd := popBest()
+		if nd.bound >= res.Objective-1e-12 {
+			continue // dominated by incumbent
+		}
+		sol, err := solveWithExtra(m, nd.extra, opts.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == IterationLimit && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			res.DNF = true
+			break
+		}
+		res.Nodes++
+		iters += sol.Iterations
+		if sol.Status != Optimal || sol.Objective >= res.Objective-1e-12 {
+			continue
+		}
+		// Rounding heuristic: flooring integer variables often yields a
+		// feasible incumbent (always, for covering-free problems like
+		// knapsacks), enabling pruning long before a node LP happens to come
+		// out integral.
+		if obj, x, ok := floorFeasible(m, sol.X); ok && obj < res.Objective-1e-12 {
+			res.Solution = Solution{Status: Optimal, X: x, Objective: obj}
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		worst := 1e-6
+		for i := 0; i < m.NumVars(); i++ {
+			if !m.Integer(i) {
+				continue
+			}
+			f := sol.X[i] - math.Floor(sol.X[i])
+			if d := math.Min(f, 1-f); d > worst {
+				worst, branch = d, i
+			}
+		}
+		if branch == -1 {
+			// Integral: new incumbent.
+			res.Solution = *sol
+			res.Solution.Iterations = iters
+			continue
+		}
+		v := sol.X[branch]
+		down := append(append([]Constraint(nil), nd.extra...),
+			Constraint{Coeffs: map[int]float64{branch: 1}, Sense: LE, RHS: math.Floor(v)})
+		up := append(append([]Constraint(nil), nd.extra...),
+			Constraint{Coeffs: map[int]float64{branch: 1}, Sense: GE, RHS: math.Ceil(v)})
+		open = append(open, node{down, sol.Objective}, node{up, sol.Objective})
+	}
+
+	if len(open) == 0 && !res.DNF {
+		// Search exhausted: the incumbent (if any) is optimal.
+		if !math.IsInf(res.Objective, 1) {
+			res.Bound = res.Objective
+		}
+	}
+	if !math.IsInf(res.Objective, 1) {
+		res.Gap = 0
+		if res.Objective != 0 {
+			res.Gap = (res.Objective - res.Bound) / math.Abs(res.Objective)
+		}
+		if res.Gap < 0 {
+			res.Gap = 0
+		}
+	} else {
+		res.Gap = math.Inf(1)
+	}
+	res.Iterations = iters
+	return res, nil
+}
+
+// floorFeasible floors the integer components of x and reports the resulting
+// point's objective if it satisfies every model constraint.
+func floorFeasible(m *Model, x []float64) (float64, []float64, bool) {
+	rounded := append([]float64(nil), x[:m.NumVars()]...)
+	for i := range rounded {
+		if m.Integer(i) {
+			rounded[i] = math.Floor(rounded[i] + 1e-9)
+		}
+	}
+	for _, c := range m.cons {
+		var lhs float64
+		for j, v := range c.Coeffs {
+			lhs += v * rounded[j]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+1e-9 {
+				return 0, nil, false
+			}
+		case GE:
+			if lhs < c.RHS-1e-9 {
+				return 0, nil, false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-9 {
+				return 0, nil, false
+			}
+		}
+	}
+	var obj float64
+	for i, v := range rounded {
+		obj += m.obj[i] * v
+	}
+	return obj, rounded, true
+}
+
+// RoundedVars returns the integer-variable indices of x whose value rounds
+// to 1 (within tolerance), sorted ascending — a convenience for extracting
+// 0/1 selections from MIP solutions.
+func RoundedVars(m *Model, x []float64) []int {
+	var on []int
+	for i := 0; i < m.NumVars(); i++ {
+		if m.Integer(i) && x[i] > 0.5 {
+			on = append(on, i)
+		}
+	}
+	sort.Ints(on)
+	return on
+}

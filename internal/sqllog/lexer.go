@@ -1,0 +1,188 @@
+// Package sqllog turns a schema script and a SQL query log into the
+// workload model: tables and attributes from CREATE TABLE statements
+// (annotated with row counts and column cardinalities), query templates
+// from SELECT / INSERT / UPDATE / DELETE statements with conjunctive
+// predicates. Identical templates aggregate their frequencies, so a raw
+// production log can be replayed directly into the index advisor.
+//
+// The dialect is a deliberately small SQL subset:
+//
+//	CREATE TABLE orders (
+//	    w_id INT CARDINALITY 100,
+//	    note VARCHAR(64)
+//	) ROWS 3000000;
+//
+//	SELECT * FROM orders WHERE w_id = 5 AND d_id = ?;
+//	INSERT INTO orders (w_id, d_id) VALUES (?, ?);
+//	UPDATE orders SET carrier = ? WHERE w_id = ? AND d_id = ?;
+//	DELETE FROM orders WHERE w_id = ?;
+//	-- freq: 120        (applies to the next statement)
+//
+// Every predicate column counts as an accessed attribute (the paper's q_j);
+// non-equality predicates are accepted and treated like equalities for
+// selectivity purposes, which is the standard simplification of what-if
+// index advisors. DELETE maintains indexes like an update over its predicate
+// columns.
+package sqllog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct  // single punctuation: ( ) , ; = < > * .
+	tokPunct2 // two-char operators: <= >= <> !=
+	tokPlaceholder
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer splits the input into tokens, dropping comments but exposing
+// "-- freq: N" annotations via the freq callback.
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+	// freqNotes maps token index -> annotated frequency applying to the
+	// statement that starts at or after that token.
+	freqNotes map[int]int64
+}
+
+func lex(src string) (*lexer, error) {
+	l := &lexer{src: src, line: 1, freqNotes: map[int]int64{}}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.peek(1) == '-':
+			if err := l.comment(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.emit(tokPlaceholder, "?")
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),;=<>*.", rune(c)):
+			if (c == '<' || c == '>' || c == '!') && (l.peek(1) == '=' || (c == '<' && l.peek(1) == '>')) {
+				l.emit(tokPunct2, l.src[l.pos:l.pos+2])
+				l.pos += 2
+			} else {
+				l.emit(tokPunct, string(c))
+				l.pos++
+			}
+		case c == '!':
+			if l.peek(1) == '=' {
+				l.emit(tokPunct2, "!=")
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("sqllog: line %d: unexpected %q", l.line, c)
+			}
+		default:
+			return nil, fmt.Errorf("sqllog: line %d: unexpected %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l, nil
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead < len(l.src) {
+		return l.src[l.pos+ahead]
+	}
+	return 0
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind, text, l.line})
+}
+
+// comment consumes "-- ..." to end of line, recording freq annotations.
+func (l *lexer) comment() error {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(l.src[start:l.pos], "--"))
+	if rest, ok := cutPrefixFold(body, "freq:"); ok {
+		var n int64
+		if _, err := fmt.Sscanf(strings.TrimSpace(rest), "%d", &n); err != nil || n < 1 {
+			return fmt.Errorf("sqllog: line %d: bad freq annotation %q", l.line, body)
+		}
+		l.freqNotes[len(l.tokens)] = n
+	}
+	return nil
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos])
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.' || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	l.emit(tokNumber, strings.ReplaceAll(l.src[start:l.pos], "_", ""))
+}
+
+func (l *lexer) str() error {
+	startLine := l.line
+	l.pos++ // opening quote
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sqllog: line %d: unterminated string literal", startLine)
+	}
+	l.emit(tokString, l.src[start:l.pos])
+	l.pos++ // closing quote
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '"'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '"'
+}

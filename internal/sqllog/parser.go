@@ -1,0 +1,567 @@
+package sqllog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Parse reads a script containing CREATE TABLE statements and a query log
+// (they may be one file or concatenated), aggregates identical templates,
+// and returns the resulting workload.
+func Parse(r io.Reader) (*workload.Workload, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sqllog: reading input: %w", err)
+	}
+	return ParseString(string(src))
+}
+
+// ParseString is Parse over a string.
+func ParseString(src string) (*workload.Workload, error) {
+	l, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{lex: l}
+	return p.parse()
+}
+
+type parser struct {
+	lex *lexer
+	pos int
+
+	tables      []workload.Table
+	attrs       []workload.Attribute
+	tableByName map[string]int
+	attrByName  map[string]int // "table.column" -> global attr ID
+
+	// templates aggregates identical (table, kind, attrs) statements.
+	templates map[string]*template
+	order     []string // deterministic template order of first appearance
+}
+
+type template struct {
+	table int
+	kind  workload.QueryKind
+	attrs []int
+	freq  int64
+}
+
+func (p *parser) cur() token  { return p.lex.tokens[p.pos] }
+func (p *parser) next() token { t := p.lex.tokens[p.pos]; p.pos++; return t }
+
+// is reports whether the current token is the given keyword/punctuation
+// (keywords case-insensitively).
+func (p *parser) is(text string) bool {
+	t := p.cur()
+	return (t.kind == tokIdent && strings.EqualFold(t.text, text)) ||
+		((t.kind == tokPunct || t.kind == tokPunct2) && t.text == text)
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		t := p.cur()
+		return fmt.Errorf("sqllog: line %d: expected %q, found %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sqllog: line %d: expected identifier, found %q", t.line, t.text)
+	}
+	p.pos++
+	return strings.Trim(strings.ToLower(t.text), `"`), nil
+}
+
+func (p *parser) parse() (*workload.Workload, error) {
+	p.tableByName = map[string]int{}
+	p.attrByName = map[string]int{}
+	p.templates = map[string]*template{}
+	for p.cur().kind != tokEOF {
+		freq := int64(1)
+		if f, ok := p.lex.freqNotes[p.pos]; ok {
+			freq = f
+		}
+		switch {
+		case p.is("create"):
+			if err := p.createTable(); err != nil {
+				return nil, err
+			}
+		case p.is("select"):
+			if err := p.selectStmt(freq); err != nil {
+				return nil, err
+			}
+		case p.is("insert"):
+			if err := p.insertStmt(freq); err != nil {
+				return nil, err
+			}
+		case p.is("update"):
+			if err := p.updateStmt(freq); err != nil {
+				return nil, err
+			}
+		case p.is("delete"):
+			if err := p.deleteStmt(freq); err != nil {
+				return nil, err
+			}
+		case p.accept(";"):
+			// stray semicolon
+		default:
+			t := p.cur()
+			return nil, fmt.Errorf("sqllog: line %d: unexpected %q (want CREATE/SELECT/INSERT/UPDATE/DELETE)", t.line, t.text)
+		}
+	}
+	return p.build()
+}
+
+// typeDefaults maps SQL types to default value sizes in bytes.
+var typeDefaults = map[string]int{
+	"int": 4, "integer": 4, "smallint": 2, "bigint": 8,
+	"float": 4, "double": 8, "real": 4, "decimal": 8, "numeric": 8,
+	"date": 4, "timestamp": 8, "boolean": 1, "bool": 1,
+	"text": 16, "varchar": 16, "char": 8,
+}
+
+func (p *parser) createTable() error {
+	p.pos++ // CREATE
+	if err := p.expect("table"); err != nil {
+		return err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.tableByName[name]; dup {
+		return fmt.Errorf("sqllog: table %q defined twice", name)
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	type colDef struct {
+		name     string
+		size     int
+		distinct int64 // 0 = default (derived from rows)
+	}
+	var cols []colDef
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return err
+		}
+		typ, err := p.ident()
+		if err != nil {
+			return err
+		}
+		size, ok := typeDefaults[typ]
+		if !ok {
+			return fmt.Errorf("sqllog: table %q column %q: unknown type %q", name, cname, typ)
+		}
+		// Optional length: VARCHAR(64).
+		if p.accept("(") {
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			size = int(n)
+			if size < 1 {
+				size = 1
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+		}
+		col := colDef{name: cname, size: size}
+		for {
+			switch {
+			case p.accept("cardinality"):
+				n, err := p.number()
+				if err != nil {
+					return err
+				}
+				if n < 1 {
+					return fmt.Errorf("sqllog: table %q column %q: cardinality must be >= 1", name, cname)
+				}
+				col.distinct = n
+			case p.is("primary"):
+				p.pos++
+				if err := p.expect("key"); err != nil {
+					return err
+				}
+				col.distinct = -1 // marker: cardinality = rows
+			case p.accept("not"):
+				if err := p.expect("null"); err != nil {
+					return err
+				}
+			case p.accept("unique"):
+				col.distinct = -1
+			default:
+				goto colDone
+			}
+		}
+	colDone:
+		cols = append(cols, col)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	rows := int64(1_000_000)
+	if p.accept("rows") {
+		n, err := p.number()
+		if err != nil {
+			return err
+		}
+		if n < 1 {
+			return fmt.Errorf("sqllog: table %q: rows must be >= 1", name)
+		}
+		rows = n
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+
+	t := workload.Table{ID: len(p.tables), Name: name, Rows: rows}
+	for _, c := range cols {
+		d := c.distinct
+		switch {
+		case d == -1 || d > rows:
+			d = rows
+		case d == 0:
+			// Default cardinality: a tenth of the rows, at least 2.
+			d = rows / 10
+			if d < 2 {
+				d = 2
+			}
+		}
+		full := name + "." + c.name
+		if _, dup := p.attrByName[full]; dup {
+			return fmt.Errorf("sqllog: table %q column %q defined twice", name, c.name)
+		}
+		id := len(p.attrs)
+		p.attrs = append(p.attrs, workload.Attribute{
+			ID: id, Table: t.ID, Name: full, Distinct: d, ValueSize: c.size,
+		})
+		p.attrByName[full] = id
+		t.Attrs = append(t.Attrs, id)
+	}
+	p.tables = append(p.tables, t)
+	p.tableByName[name] = t.ID
+	return nil
+}
+
+func (p *parser) number() (int64, error) {
+	t := p.cur()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("sqllog: line %d: expected number, found %q", t.line, t.text)
+	}
+	p.pos++
+	f, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqllog: line %d: bad number %q", t.line, t.text)
+	}
+	return int64(f), nil
+}
+
+// resolve maps a (possibly table-qualified) column reference in the context
+// of table tid to a global attribute ID.
+func (p *parser) resolve(tid int, col string, line int) (int, error) {
+	name := p.tables[tid].Name + "." + col
+	if id, ok := p.attrByName[name]; ok {
+		return id, nil
+	}
+	return 0, fmt.Errorf("sqllog: line %d: unknown column %q on table %q", line, col, p.tables[tid].Name)
+}
+
+// column parses `col` or `table.col`, checking the table matches tid.
+func (p *parser) column(tid int) (int, error) {
+	line := p.cur().line
+	first, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	if p.accept(".") {
+		col, err := p.ident()
+		if err != nil {
+			return 0, err
+		}
+		if first != p.tables[tid].Name {
+			return 0, fmt.Errorf("sqllog: line %d: column %s.%s references another table (queries are single-table)", line, first, col)
+		}
+		return p.resolve(tid, col, line)
+	}
+	return p.resolve(tid, first, line)
+}
+
+// value consumes one literal / placeholder.
+func (p *parser) value() error {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber, tokString, tokPlaceholder:
+		p.pos++
+		return nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "null") || strings.EqualFold(t.text, "true") || strings.EqualFold(t.text, "false") {
+			p.pos++
+			return nil
+		}
+	}
+	return fmt.Errorf("sqllog: line %d: expected value, found %q", t.line, t.text)
+}
+
+// whereClause parses WHERE pred (AND pred)* and returns the predicate
+// columns. Operators =, <, >, <=, >=, <>, != are accepted.
+func (p *parser) whereClause(tid int) ([]int, error) {
+	var attrs []int
+	for {
+		a, err := p.column(tid)
+		if err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.kind != tokPunct && t.kind != tokPunct2 {
+			return nil, fmt.Errorf("sqllog: line %d: expected comparison operator, found %q", t.line, t.text)
+		}
+		switch t.text {
+		case "=", "<", ">", "<=", ">=", "<>", "!=":
+			p.pos++
+		default:
+			return nil, fmt.Errorf("sqllog: line %d: unsupported operator %q", t.line, t.text)
+		}
+		if err := p.value(); err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, a)
+		if !p.accept("and") {
+			break
+		}
+	}
+	return attrs, nil
+}
+
+func (p *parser) fromTable() (int, error) {
+	line := p.cur().line
+	name, err := p.ident()
+	if err != nil {
+		return 0, err
+	}
+	tid, ok := p.tableByName[name]
+	if !ok {
+		return 0, fmt.Errorf("sqllog: line %d: unknown table %q (missing CREATE TABLE?)", line, name)
+	}
+	return tid, nil
+}
+
+func (p *parser) selectStmt(freq int64) error {
+	p.pos++ // SELECT
+	// Skip the projection: '*' or column list (not used by the model).
+	for !p.is("from") {
+		if p.cur().kind == tokEOF {
+			return fmt.Errorf("sqllog: line %d: SELECT without FROM", p.cur().line)
+		}
+		p.pos++
+	}
+	p.pos++ // FROM
+	tid, err := p.fromTable()
+	if err != nil {
+		return err
+	}
+	var attrs []int
+	if p.accept("where") {
+		attrs, err = p.whereClause(tid)
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if len(attrs) == 0 {
+		// Full-table scans carry no indexable predicate; they do not enter
+		// the template set (no index can serve them).
+		return nil
+	}
+	p.record(tid, workload.Select, attrs, freq)
+	return nil
+}
+
+func (p *parser) insertStmt(freq int64) error {
+	p.pos++ // INSERT
+	if err := p.expect("into"); err != nil {
+		return err
+	}
+	tid, err := p.fromTable()
+	if err != nil {
+		return err
+	}
+	var attrs []int
+	if p.accept("(") {
+		for {
+			a, err := p.column(tid)
+			if err != nil {
+				return err
+			}
+			attrs = append(attrs, a)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	} else {
+		attrs = append(attrs, p.tables[tid].Attrs...)
+	}
+	if err := p.expect("values"); err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		if err := p.value(); err != nil {
+			return err
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.record(tid, workload.Insert, attrs, freq)
+	return nil
+}
+
+func (p *parser) updateStmt(freq int64) error {
+	p.pos++ // UPDATE
+	tid, err := p.fromTable()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("set"); err != nil {
+		return err
+	}
+	var attrs []int
+	for {
+		a, err := p.column(tid)
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		if err := p.value(); err != nil {
+			return err
+		}
+		attrs = append(attrs, a)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if p.accept("where") {
+		where, err := p.whereClause(tid)
+		if err != nil {
+			return err
+		}
+		attrs = append(attrs, where...)
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	p.record(tid, workload.Update, attrs, freq)
+	return nil
+}
+
+func (p *parser) deleteStmt(freq int64) error {
+	p.pos++ // DELETE
+	if err := p.expect("from"); err != nil {
+		return err
+	}
+	tid, err := p.fromTable()
+	if err != nil {
+		return err
+	}
+	var attrs []int
+	if p.accept("where") {
+		attrs, err = p.whereClause(tid)
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	if len(attrs) == 0 {
+		attrs = append(attrs, p.tables[tid].Attrs...)
+	}
+	// DELETE locates rows like an update and maintains the touched indexes;
+	// modeling it as Update over its predicate columns is the conservative
+	// approximation (a full delete maintains every index, but predicate-free
+	// deletes are rare in production logs).
+	p.record(tid, workload.Update, attrs, freq)
+	return nil
+}
+
+// record aggregates a template occurrence.
+func (p *parser) record(tid int, kind workload.QueryKind, attrs []int, freq int64) {
+	uniq := map[int]bool{}
+	var dedup []int
+	for _, a := range attrs {
+		if !uniq[a] {
+			uniq[a] = true
+			dedup = append(dedup, a)
+		}
+	}
+	sort.Ints(dedup)
+	key := fmt.Sprintf("%d|%d|%v", tid, int(kind), dedup)
+	if t, ok := p.templates[key]; ok {
+		t.freq += freq
+		return
+	}
+	p.templates[key] = &template{table: tid, kind: kind, attrs: dedup, freq: freq}
+	p.order = append(p.order, key)
+}
+
+func (p *parser) build() (*workload.Workload, error) {
+	if len(p.tables) == 0 {
+		return nil, fmt.Errorf("sqllog: no CREATE TABLE statements found")
+	}
+	if len(p.order) == 0 {
+		return nil, fmt.Errorf("sqllog: no query statements found")
+	}
+	queries := make([]workload.Query, 0, len(p.order))
+	for _, key := range p.order {
+		t := p.templates[key]
+		queries = append(queries, workload.Query{
+			ID:    len(queries),
+			Table: t.table,
+			Attrs: t.attrs,
+			Freq:  t.freq,
+			Kind:  t.kind,
+		})
+	}
+	return workload.New(p.tables, p.attrs, queries)
+}

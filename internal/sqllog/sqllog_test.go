@@ -1,0 +1,206 @@
+package sqllog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const schema = `
+CREATE TABLE orders (
+    w_id INT CARDINALITY 100,
+    d_id INT CARDINALITY 10,
+    id BIGINT PRIMARY KEY,
+    carrier SMALLINT CARDINALITY 10,
+    note VARCHAR(64)
+) ROWS 300000;
+
+CREATE TABLE item (
+    id INT UNIQUE,
+    price DECIMAL CARDINALITY 10000
+) ROWS 100000;
+`
+
+func TestParseSchema(t *testing.T) {
+	w, err := ParseString(schema + "SELECT * FROM orders WHERE w_id = 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(w.Tables))
+	}
+	ord := w.Tables[0]
+	if ord.Name != "orders" || ord.Rows != 300_000 || len(ord.Attrs) != 5 {
+		t.Errorf("orders table = %+v", ord)
+	}
+	byName := map[string]workload.Attribute{}
+	for _, a := range w.Attrs() {
+		byName[a.Name] = a
+	}
+	if a := byName["orders.w_id"]; a.Distinct != 100 || a.ValueSize != 4 {
+		t.Errorf("w_id = %+v", a)
+	}
+	if a := byName["orders.id"]; a.Distinct != 300_000 || a.ValueSize != 8 {
+		t.Errorf("primary key id = %+v (want cardinality = rows)", a)
+	}
+	if a := byName["orders.note"]; a.ValueSize != 64 {
+		t.Errorf("varchar(64) size = %d", a.ValueSize)
+	}
+	if a := byName["orders.carrier"]; a.ValueSize != 2 || a.Distinct != 10 {
+		t.Errorf("carrier = %+v", a)
+	}
+	if a := byName["item.id"]; a.Distinct != 100_000 {
+		t.Errorf("unique id = %+v", a)
+	}
+	// Unannotated cardinality defaults to rows/10.
+	if a := byName["item.price"]; a.Distinct != 10_000 {
+		t.Errorf("price = %+v", a)
+	}
+}
+
+func TestParseSelects(t *testing.T) {
+	src := schema + `
+SELECT * FROM orders WHERE w_id = 5 AND d_id = ?;
+SELECT id, note FROM orders WHERE w_id = 5 AND d_id = 3;
+SELECT * FROM orders WHERE orders.carrier >= 2;
+-- freq: 40
+SELECT * FROM item WHERE id = ?;
+SELECT * FROM item WHERE id = 7;
+`
+	w, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.NumQueries(); got != 3 {
+		t.Fatalf("templates = %d, want 3 (aggregation)", got)
+	}
+	// Template 0: orders(w_id, d_id), two occurrences.
+	q0 := w.Queries[0]
+	if q0.Freq != 2 || len(q0.Attrs) != 2 || q0.Kind != workload.Select {
+		t.Errorf("q0 = %+v", q0)
+	}
+	// Template with freq annotation plus one plain occurrence: 41.
+	q2 := w.Queries[2]
+	if q2.Freq != 41 || len(q2.Attrs) != 1 {
+		t.Errorf("q2 = %+v, want freq 41", q2)
+	}
+	// Range predicate counts as access.
+	q1 := w.Queries[1]
+	if len(q1.Attrs) != 1 || w.Attr(q1.Attrs[0]).Name != "orders.carrier" {
+		t.Errorf("q1 = %+v", q1)
+	}
+}
+
+func TestParseWrites(t *testing.T) {
+	src := schema + `
+INSERT INTO orders (w_id, d_id, id) VALUES (?, ?, ?);
+UPDATE orders SET carrier = 5 WHERE w_id = ? AND d_id = ?;
+DELETE FROM item WHERE id = ?;
+INSERT INTO item VALUES (1, 2.5);
+`
+	w, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[workload.QueryKind]int{}
+	for _, q := range w.Queries {
+		kinds[q.Kind]++
+	}
+	if kinds[workload.Insert] != 2 || kinds[workload.Update] != 2 {
+		t.Fatalf("kinds = %v, want 2 inserts, 2 updates (delete maps to update)", kinds)
+	}
+	// Update accesses SET and WHERE columns.
+	for _, q := range w.Queries {
+		if q.Kind == workload.Update && q.Table == 0 {
+			if len(q.Attrs) != 3 {
+				t.Errorf("update attrs = %d, want 3 (carrier, w_id, d_id)", len(q.Attrs))
+			}
+		}
+	}
+	// Column-less INSERT covers the whole row.
+	for _, q := range w.Queries {
+		if q.Kind == workload.Insert && q.Table == 1 {
+			if len(q.Attrs) != 2 {
+				t.Errorf("full-row insert attrs = %d, want 2", len(q.Attrs))
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no tables", "SELECT * FROM t WHERE a = 1;"},
+		{"no queries", schema},
+		{"unknown table", schema + "SELECT * FROM nope WHERE a = 1;"},
+		{"unknown column", schema + "SELECT * FROM orders WHERE nope = 1;"},
+		{"unknown type", "CREATE TABLE t (a BLOB) ROWS 10; SELECT * FROM t WHERE a = 1;"},
+		{"duplicate table", schema + schema + "SELECT * FROM orders WHERE w_id=1;"},
+		{"bad operator", schema + "SELECT * FROM orders WHERE w_id LIKE 'x';"},
+		{"unterminated string", schema + "SELECT * FROM orders WHERE note = 'oops;"},
+		{"missing from", schema + "SELECT * WHERE w_id = 1"},
+		{"bad freq", schema + "-- freq: x\nSELECT * FROM orders WHERE w_id = 1;"},
+		{"cross table column", schema + "SELECT * FROM orders WHERE item.id = 1;"},
+		{"zero rows", "CREATE TABLE t (a INT) ROWS 0; SELECT * FROM t WHERE a=1;"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.src); err == nil {
+				t.Errorf("accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestFullScanSelectIgnored(t *testing.T) {
+	src := schema + `
+SELECT * FROM orders;
+SELECT * FROM orders WHERE w_id = 1;
+`
+	w, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumQueries() != 1 {
+		t.Errorf("templates = %d, want 1 (predicate-free select ignored)", w.NumQueries())
+	}
+}
+
+func TestCaseInsensitivityAndQualifiedColumns(t *testing.T) {
+	src := strings.ToUpper(schema) + `
+select * from ORDERS where Orders.W_ID = 3 and D_ID <> 4;
+`
+	w, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumQueries() != 1 || len(w.Queries[0].Attrs) != 2 {
+		t.Fatalf("queries = %+v", w.Queries)
+	}
+}
+
+func TestParsedWorkloadDrivesAdvisorPipeline(t *testing.T) {
+	// End-to-end: parse a TPC-C-ish log and verify the workload validates
+	// and carries sane statistics for selection.
+	src := schema + `
+-- freq: 430
+SELECT price FROM item WHERE id = ?;
+-- freq: 43
+SELECT * FROM orders WHERE w_id = ? AND d_id = ? AND id = ?;
+-- freq: 10
+INSERT INTO orders (w_id, d_id, id, carrier, note) VALUES (?, ?, ?, ?, ?);
+`
+	w, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalFreq() != 483 {
+		t.Errorf("total freq = %d, want 483", w.TotalFreq())
+	}
+	if len(w.WriteQueries()) != 1 {
+		t.Errorf("write templates = %d, want 1", len(w.WriteQueries()))
+	}
+}

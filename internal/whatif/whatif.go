@@ -1,0 +1,251 @@
+// Package whatif provides the what-if optimizer facade used by all selection
+// strategies: a caching, call-counting wrapper around a cost source
+// (Section II-C of the paper). The underlying source is either the
+// reproducible Appendix-B cost model (package costmodel) or measured
+// execution costs from the column-store engine (package engine) — selection
+// algorithms are agnostic to which (Section IV-B).
+package whatif
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Source is the cost oracle a what-if optimizer wraps. Implementations must
+// be deterministic for a given (query, index/selection) input.
+type Source interface {
+	// BaseCost returns f_j(0), the cost of query q with no index.
+	BaseCost(q workload.Query) float64
+	// CostWithIndex returns f_j(k), the cost of q using only index k.
+	CostWithIndex(q workload.Query, k workload.Index) float64
+	// QueryCost returns f_j(I*) for a whole selection.
+	QueryCost(q workload.Query, sel workload.Selection) float64
+	// MaintenanceCost returns the per-execution index-maintenance cost that
+	// write query q adds for index k; zero for reads and untouched indexes.
+	MaintenanceCost(q workload.Query, k workload.Index) float64
+	// IndexSize returns p_k in bytes.
+	IndexSize(k workload.Index) int64
+}
+
+// Stats aggregates what-if accounting. Calls counts distinct underlying cost
+// evaluations — the paper's "number of what-if optimizer calls"; cache hits
+// are free re-reads of earlier calls.
+type Stats struct {
+	Calls     int64
+	CacheHits int64
+}
+
+// Optimizer is a concurrency-safe caching what-if facade.
+type Optimizer struct {
+	src Source
+
+	mu         sync.Mutex
+	baseCache  map[int]float64     // query ID -> f_j(0)
+	indexCache map[pairKey]float64 // (query ID, index key) -> f_j(k)
+	maintCache map[pairKey]float64 // (query ID, index key) -> maintenance
+	sizeCache  map[string]int64    // index key -> p_k
+	stats      Stats
+}
+
+type pairKey struct {
+	query int
+	index string
+}
+
+// New wraps src in a caching optimizer.
+func New(src Source) *Optimizer {
+	return &Optimizer{
+		src:        src,
+		baseCache:  make(map[int]float64),
+		indexCache: make(map[pairKey]float64),
+		maintCache: make(map[pairKey]float64),
+		sizeCache:  make(map[string]int64),
+	}
+}
+
+// Source returns the wrapped cost source.
+func (o *Optimizer) Source() Source { return o.src }
+
+// BaseCost returns f_j(0), cached per query.
+func (o *Optimizer) BaseCost(q workload.Query) float64 {
+	o.mu.Lock()
+	if c, ok := o.baseCache[q.ID]; ok {
+		o.stats.CacheHits++
+		o.mu.Unlock()
+		return c
+	}
+	o.stats.Calls++
+	o.mu.Unlock()
+	c := o.src.BaseCost(q)
+	o.mu.Lock()
+	o.baseCache[q.ID] = c
+	o.mu.Unlock()
+	return c
+}
+
+// CostWithIndex returns f_j(k), cached per (query, index). Non-applicable
+// indexes short-circuit to the base cost without consuming a what-if call,
+// mirroring the paper's observation that only coverable queries need
+// re-evaluation.
+func (o *Optimizer) CostWithIndex(q workload.Query, k workload.Index) float64 {
+	if !workload.Applicable(q, k) {
+		return o.BaseCost(q)
+	}
+	key := pairKey{q.ID, k.Key()}
+	o.mu.Lock()
+	if c, ok := o.indexCache[key]; ok {
+		o.stats.CacheHits++
+		o.mu.Unlock()
+		return c
+	}
+	o.stats.Calls++
+	o.mu.Unlock()
+	c := o.src.CostWithIndex(q, k)
+	o.mu.Lock()
+	o.indexCache[key] = c
+	o.mu.Unlock()
+	return c
+}
+
+// QueryCost returns f_j(I*). Whole-selection evaluations are not cached
+// (selections rarely repeat); each evaluation counts as one call.
+func (o *Optimizer) QueryCost(q workload.Query, sel workload.Selection) float64 {
+	o.mu.Lock()
+	o.stats.Calls++
+	o.mu.Unlock()
+	return o.src.QueryCost(q, sel)
+}
+
+// MaintenanceCost returns the write-maintenance cost of (q, k), cached.
+// Maintenance estimates are catalog/structure formulas, not optimizer
+// plan evaluations, and are not counted as what-if calls.
+func (o *Optimizer) MaintenanceCost(q workload.Query, k workload.Index) float64 {
+	if !q.Maintains(k) {
+		return 0
+	}
+	key := pairKey{q.ID, k.Key()}
+	o.mu.Lock()
+	if c, ok := o.maintCache[key]; ok {
+		o.mu.Unlock()
+		return c
+	}
+	o.mu.Unlock()
+	c := o.src.MaintenanceCost(q, k)
+	o.mu.Lock()
+	o.maintCache[key] = c
+	o.mu.Unlock()
+	return c
+}
+
+// IndexSize returns p_k, cached per index. Size lookups are catalog reads,
+// not what-if calls, and are not counted.
+func (o *Optimizer) IndexSize(k workload.Index) int64 {
+	key := k.Key()
+	o.mu.Lock()
+	if s, ok := o.sizeCache[key]; ok {
+		o.mu.Unlock()
+		return s
+	}
+	o.mu.Unlock()
+	s := o.src.IndexSize(k)
+	o.mu.Lock()
+	o.sizeCache[key] = s
+	o.mu.Unlock()
+	return s
+}
+
+// Invalidate drops all cached costs for query q. Used in multi-index mode
+// (Remark 2) when the current selection changes the context earlier calls
+// were made under.
+func (o *Optimizer) Invalidate(q workload.Query) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.baseCache, q.ID)
+	for key := range o.indexCache {
+		if key.query == q.ID {
+			delete(o.indexCache, key)
+		}
+	}
+	for key := range o.maintCache {
+		if key.query == q.ID {
+			delete(o.maintCache, key)
+		}
+	}
+}
+
+// Stats returns a snapshot of the call counters.
+func (o *Optimizer) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// ResetStats zeroes the call counters, keeping the caches.
+func (o *Optimizer) ResetStats() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stats = Stats{}
+}
+
+// NoisySource wraps a Source and perturbs every cost multiplicatively by a
+// deterministic pseudo-random factor in [1-eps, 1+eps]. It models inaccurate
+// what-if estimates (cf. the paper's Section IV-B motivation) and is used in
+// robustness tests: selection strategies must keep producing feasible,
+// near-comparable selections under noisy costs.
+type NoisySource struct {
+	Src Source
+	Eps float64
+	// Seed fixes the perturbation; the factor for a given (query, index)
+	// pair is stable across calls.
+	Seed int64
+}
+
+func (n NoisySource) perturb(key int64, c float64) float64 {
+	r := rand.New(rand.NewSource(n.Seed ^ key))
+	return c * (1 + n.Eps*(2*r.Float64()-1))
+}
+
+// BaseCost implements Source.
+func (n NoisySource) BaseCost(q workload.Query) float64 {
+	return n.perturb(int64(q.ID)<<32, n.Src.BaseCost(q))
+}
+
+// CostWithIndex implements Source.
+func (n NoisySource) CostWithIndex(q workload.Query, k workload.Index) float64 {
+	h := int64(q.ID)<<32 ^ hashString(k.Key())
+	return n.perturb(h, n.Src.CostWithIndex(q, k))
+}
+
+// QueryCost implements Source.
+func (n NoisySource) QueryCost(q workload.Query, sel workload.Selection) float64 {
+	var h int64
+	for key := range sel {
+		h ^= hashString(key)
+	}
+	return n.perturb(int64(q.ID)<<32^h, n.Src.QueryCost(q, sel))
+}
+
+// MaintenanceCost implements Source with the same bounded perturbation.
+func (n NoisySource) MaintenanceCost(q workload.Query, k workload.Index) float64 {
+	c := n.Src.MaintenanceCost(q, k)
+	if c == 0 {
+		return 0
+	}
+	h := int64(q.ID)<<32 ^ hashString(k.Key()) ^ 0x5bd1e995
+	return n.perturb(h, c)
+}
+
+// IndexSize implements Source; sizes are catalog facts and stay exact.
+func (n NoisySource) IndexSize(k workload.Index) int64 { return n.Src.IndexSize(k) }
+
+// hashString is FNV-1a folded to int64.
+func hashString(s string) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h &^ (1 << 63))
+}

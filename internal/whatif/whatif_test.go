@@ -1,0 +1,214 @@
+package whatif
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+func testWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	cfg := workload.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable, cfg.RowsBase = 2, 10, 20, 10_000
+	return workload.MustGenerate(cfg)
+}
+
+func TestCachingAndCallCounting(t *testing.T) {
+	w := testWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	o := New(m)
+	q := w.Queries[0]
+	k := workload.MustIndex(w, q.Attrs[0])
+
+	c1 := o.CostWithIndex(q, k)
+	if s := o.Stats(); s.Calls != 1 || s.CacheHits != 0 {
+		t.Fatalf("after first call: %+v, want 1 call, 0 hits", s)
+	}
+	c2 := o.CostWithIndex(q, k)
+	if c1 != c2 {
+		t.Errorf("cached cost %v differs from original %v", c2, c1)
+	}
+	if s := o.Stats(); s.Calls != 1 || s.CacheHits != 1 {
+		t.Errorf("after second call: %+v, want 1 call, 1 hit", s)
+	}
+
+	b1 := o.BaseCost(q)
+	o.BaseCost(q)
+	if s := o.Stats(); s.Calls != 2 || s.CacheHits != 2 {
+		t.Errorf("after base calls: %+v, want 2 calls, 2 hits", s)
+	}
+	if b1 != m.BaseCost(q) {
+		t.Errorf("BaseCost = %v, want %v", b1, m.BaseCost(q))
+	}
+}
+
+func TestNonApplicableIsFree(t *testing.T) {
+	w := testWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	o := New(m)
+	q := w.Queries[0]
+	// An index whose leading attribute is not in q: resolving it must cost
+	// only the (cached) base call, not a what-if call per index.
+	var lead int
+	for _, a := range w.Tables[q.Table].Attrs {
+		if !q.Accesses(a) {
+			lead = a
+			break
+		}
+	}
+	o.BaseCost(q)
+	before := o.Stats().Calls
+	got := o.CostWithIndex(q, workload.MustIndex(w, lead))
+	if got != o.BaseCost(q) {
+		t.Errorf("non-applicable cost = %v, want base", got)
+	}
+	if after := o.Stats().Calls; after != before {
+		t.Errorf("non-applicable index consumed %d what-if calls", after-before)
+	}
+}
+
+func TestQueryCostCountsCalls(t *testing.T) {
+	w := testWorkload(t)
+	o := New(costmodel.New(w, costmodel.SingleIndex))
+	q := w.Queries[0]
+	sel := workload.NewSelection(workload.MustIndex(w, q.Attrs[0]))
+	o.QueryCost(q, sel)
+	o.QueryCost(q, sel)
+	if s := o.Stats(); s.Calls != 2 {
+		t.Errorf("whole-selection calls = %d, want 2 (not cached)", s.Calls)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	w := testWorkload(t)
+	o := New(costmodel.New(w, costmodel.SingleIndex))
+	q0, q1 := w.Queries[0], w.Queries[1]
+	k0 := workload.MustIndex(w, q0.Attrs[0])
+	k1 := workload.MustIndex(w, q1.Attrs[0])
+	o.BaseCost(q0)
+	o.BaseCost(q1)
+	o.CostWithIndex(q0, k0)
+	o.CostWithIndex(q1, k1)
+	calls := o.Stats().Calls
+
+	o.Invalidate(q0)
+	o.BaseCost(q0)
+	o.CostWithIndex(q0, k0)
+	if got := o.Stats().Calls; got != calls+2 {
+		t.Errorf("after invalidate, calls = %d, want %d (both q0 entries refreshed)", got, calls+2)
+	}
+	o.BaseCost(q1)
+	o.CostWithIndex(q1, k1)
+	if got := o.Stats().Calls; got != calls+2 {
+		t.Errorf("invalidate(q0) also dropped q1 entries: calls = %d", got)
+	}
+}
+
+func TestResetStatsKeepsCache(t *testing.T) {
+	w := testWorkload(t)
+	o := New(costmodel.New(w, costmodel.SingleIndex))
+	q := w.Queries[0]
+	o.BaseCost(q)
+	o.ResetStats()
+	if s := o.Stats(); s.Calls != 0 || s.CacheHits != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+	o.BaseCost(q)
+	if s := o.Stats(); s.Calls != 0 || s.CacheHits != 1 {
+		t.Errorf("cache not preserved across ResetStats: %+v", s)
+	}
+}
+
+func TestIndexSizeCachedNotCounted(t *testing.T) {
+	w := testWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	o := New(m)
+	k := workload.MustIndex(w, 0, 1)
+	s1 := o.IndexSize(k)
+	s2 := o.IndexSize(k)
+	if s1 != m.IndexSize(k) || s1 != s2 {
+		t.Errorf("IndexSize = %d/%d, want %d", s1, s2, m.IndexSize(k))
+	}
+	if s := o.Stats(); s.Calls != 0 {
+		t.Errorf("size lookups counted as what-if calls: %+v", s)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	w := testWorkload(t)
+	o := New(costmodel.New(w, costmodel.SingleIndex))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range w.Queries {
+				o.BaseCost(q)
+				for _, a := range q.Attrs {
+					o.CostWithIndex(q, workload.MustIndex(w, a))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Every distinct (query, applicable single index) pair plus base costs,
+	// counted at most once each despite 8 goroutines... races on first
+	// evaluation may double-count, but the cache must converge: re-reading
+	// is all hits.
+	before := o.Stats()
+	for _, q := range w.Queries {
+		o.BaseCost(q)
+	}
+	after := o.Stats()
+	if after.Calls != before.Calls {
+		t.Errorf("post-warm reads performed %d extra calls", after.Calls-before.Calls)
+	}
+}
+
+func TestNoisySource(t *testing.T) {
+	w := testWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	n := NoisySource{Src: m, Eps: 0.1, Seed: 42}
+	q := w.Queries[0]
+	k := workload.MustIndex(w, q.Attrs[0])
+
+	// Deterministic: repeated calls agree.
+	if n.BaseCost(q) != n.BaseCost(q) {
+		t.Error("NoisySource.BaseCost not deterministic")
+	}
+	if n.CostWithIndex(q, k) != n.CostWithIndex(q, k) {
+		t.Error("NoisySource.CostWithIndex not deterministic")
+	}
+	// Bounded perturbation.
+	exact := m.CostWithIndex(q, k)
+	noisy := n.CostWithIndex(q, k)
+	if math.Abs(noisy-exact) > 0.1*exact+1e-9 {
+		t.Errorf("noise out of bounds: exact %v, noisy %v", exact, noisy)
+	}
+	// Sizes stay exact.
+	if n.IndexSize(k) != m.IndexSize(k) {
+		t.Error("NoisySource perturbed IndexSize")
+	}
+	// Different seeds differ somewhere.
+	n2 := NoisySource{Src: m, Eps: 0.1, Seed: 43}
+	diff := false
+	for _, q := range w.Queries[:10] {
+		if n.BaseCost(q) != n2.BaseCost(q) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical noise")
+	}
+	// QueryCost perturbs but stays in bounds too.
+	sel := workload.NewSelection(k)
+	exactQ := m.QueryCost(q, sel)
+	noisyQ := n.QueryCost(q, sel)
+	if math.Abs(noisyQ-exactQ) > 0.1*exactQ+1e-9 {
+		t.Errorf("QueryCost noise out of bounds: %v vs %v", noisyQ, exactQ)
+	}
+}

@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig parameterizes the reproducible scalable workload of the paper's
+// Appendix C / Example 1. The zero value is not useful; start from
+// DefaultGenConfig.
+type GenConfig struct {
+	// Tables is T, the number of tables (paper: 10).
+	Tables int
+	// AttrsPerTable is N_t, the attributes per table (paper: 50).
+	AttrsPerTable int
+	// QueriesPerTable is Q_t, the query templates per table (paper: N_t in
+	// Appendix C; Example 1 varies it from 50 to 5000).
+	QueriesPerTable int
+	// Seed makes the generated workload deterministic.
+	Seed int64
+	// RowsBase scales n_t = t * RowsBase (paper: 1,000,000). Smaller values
+	// keep tests fast without changing the distributional shape.
+	RowsBase int64
+	// MaxQueryAttrs bounds Z_{t,j}, the attribute draws per query (paper: 10).
+	MaxQueryAttrs int
+	// MaxFreq bounds b_{t,j} (paper: 10,000).
+	MaxFreq int64
+	// WriteShare in [0, 1) converts that fraction of each table's templates
+	// into writes (alternating inserts of full rows and updates of the drawn
+	// attributes). The paper's evaluation uses 0 (reads only); writes
+	// exercise the model's index-maintenance extension point.
+	WriteShare float64
+}
+
+// DefaultGenConfig returns the exact parameters of Appendix C:
+// T=10, N_t=50, Q_t=N_t, n_t = t * 1e6, Z up to 10, b up to 10,000.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Tables:          10,
+		AttrsPerTable:   50,
+		QueriesPerTable: 50,
+		Seed:            1,
+		RowsBase:        1_000_000,
+		MaxQueryAttrs:   10,
+		MaxFreq:         10_000,
+	}
+}
+
+// uniform draws Uniform(lo, hi) from r.
+func uniform(r *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Generate builds the synthetic workload of Appendix C:
+//
+//	n_t     = t * RowsBase                                      (t = 1..T)
+//	d_{t,i} = round(Uniform(0.5, n_t ^ ((N_t-i+1)/(N_t+1))^0.2))  (see below)
+//	Z_{t,j} = round(Uniform(0.5, MaxQueryAttrs+0.5))
+//	q_{t,j} = union of Z draws of round(Uniform(1, N_t^(1/0.3))^0.3)
+//	b_{t,j} = round(Uniform(1, MaxFreq))
+//
+// Attribute value sizes a_i are not specified in the paper; we draw them as
+// round(Uniform(0.5, 8.5)) bytes (1..8), which covers common fixed-width
+// column types. The generator is fully deterministic for a given config.
+func Generate(cfg GenConfig) (*Workload, error) {
+	if cfg.Tables < 1 || cfg.AttrsPerTable < 1 || cfg.QueriesPerTable < 1 {
+		return nil, fmt.Errorf("workload: generator config needs positive Tables, AttrsPerTable, QueriesPerTable (got %d, %d, %d)",
+			cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable)
+	}
+	if cfg.RowsBase < 1 {
+		return nil, fmt.Errorf("workload: generator config needs positive RowsBase (got %d)", cfg.RowsBase)
+	}
+	if cfg.MaxQueryAttrs < 1 {
+		return nil, fmt.Errorf("workload: generator config needs positive MaxQueryAttrs (got %d)", cfg.MaxQueryAttrs)
+	}
+	if cfg.MaxFreq < 1 {
+		return nil, fmt.Errorf("workload: generator config needs positive MaxFreq (got %d)", cfg.MaxFreq)
+	}
+	if cfg.WriteShare < 0 || cfg.WriteShare >= 1 {
+		return nil, fmt.Errorf("workload: WriteShare must be in [0, 1) (got %g)", cfg.WriteShare)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	var (
+		tables  []Table
+		attrs   []Attribute
+		queries []Query
+	)
+	for t := 0; t < cfg.Tables; t++ {
+		n := int64(t+1) * cfg.RowsBase
+		table := Table{ID: t, Name: fmt.Sprintf("T%02d", t+1), Rows: n}
+		nt := cfg.AttrsPerTable
+		for i := 1; i <= nt; i++ {
+			// Appendix C gives d_{t,i} = round(U(0.5, n_t (((N_t-i+1)/(N_t+1))^0.2))).
+			// We read the bound as n_t RAISED TO the decaying factor,
+			// n^(frac^0.2), not multiplied by it: the multiplicative reading
+			// makes virtually every attribute near-unique (d uniform up to
+			// ~0.5*n), so any single-attribute index answers any query and
+			// multi-attribute selection — the paper's subject — degenerates.
+			// The exponent reading gives the frequently-accessed (high-
+			// position) attributes moderate cardinalities (hundreds to
+			// thousands), the TPC-C-like structure in which index extension,
+			// interaction and cannibalization actually occur.
+			hi := math.Pow(float64(n), math.Pow(float64(nt-i+1)/float64(nt+1), 0.2))
+			d := int64(math.Round(uniform(r, 0.5, hi)))
+			if d < 1 {
+				d = 1
+			}
+			if d > n {
+				d = n
+			}
+			size := int(math.Round(uniform(r, 0.5, 8.5)))
+			if size < 1 {
+				size = 1
+			}
+			id := len(attrs)
+			attrs = append(attrs, Attribute{
+				ID:        id,
+				Table:     t,
+				Name:      fmt.Sprintf("T%02d.A%02d", t+1, i),
+				Distinct:  d,
+				ValueSize: size,
+			})
+			table.Attrs = append(table.Attrs, id)
+		}
+		tables = append(tables, table)
+
+		base := t * nt // global ID of the table's first attribute
+		for j := 0; j < cfg.QueriesPerTable; j++ {
+			z := int(math.Round(uniform(r, 0.5, float64(cfg.MaxQueryAttrs)+0.5)))
+			if z < 1 {
+				z = 1
+			}
+			set := make(map[int]bool, z)
+			for k := 0; k < z; k++ {
+				// Appendix C: round(Uniform(1, N_t^(1/0.3))^0.3); the CDF
+				// (p/N)^(1/0.3) skews access strongly toward HIGH positions.
+				v := math.Pow(uniform(r, 1, math.Pow(float64(nt), 1/0.3)), 0.3)
+				pos := int(math.Round(v))
+				if pos < 1 {
+					pos = 1
+				}
+				if pos > nt {
+					pos = nt
+				}
+				set[base+pos-1] = true
+			}
+			qa := make([]int, 0, len(set))
+			for a := range set {
+				qa = append(qa, a)
+			}
+			freq := int64(math.Round(uniform(r, 1, float64(cfg.MaxFreq))))
+			if freq < 1 {
+				freq = 1
+			}
+			q := Query{
+				ID:    len(queries),
+				Table: t,
+				Attrs: qa,
+				Freq:  freq,
+			}
+			if float64(j) < cfg.WriteShare*float64(cfg.QueriesPerTable) {
+				if j%2 == 0 {
+					q.Kind = Insert
+					q.Attrs = append([]int(nil), table.Attrs...) // full row
+				} else {
+					q.Kind = Update
+				}
+			}
+			queries = append(queries, q)
+		}
+	}
+	return New(tables, attrs, queries)
+}
+
+// ResampleQueries returns a workload with w's tables and attributes but
+// freshly drawn Appendix-C query templates — a model of workload drift for
+// the paper's future-work scenario of successively adapting selections under
+// reconfiguration costs. QueriesPerTable, MaxQueryAttrs and MaxFreq are
+// taken from cfg; the query draw is controlled solely by seed.
+func ResampleQueries(w *Workload, cfg GenConfig, seed int64) (*Workload, error) {
+	if cfg.QueriesPerTable < 1 || cfg.MaxQueryAttrs < 1 || cfg.MaxFreq < 1 {
+		return nil, fmt.Errorf("workload: resample needs positive QueriesPerTable, MaxQueryAttrs, MaxFreq (got %d, %d, %d)",
+			cfg.QueriesPerTable, cfg.MaxQueryAttrs, cfg.MaxFreq)
+	}
+	r := rand.New(rand.NewSource(seed))
+	var queries []Query
+	for _, tb := range w.Tables {
+		nt := len(tb.Attrs)
+		for j := 0; j < cfg.QueriesPerTable; j++ {
+			z := int(math.Round(uniform(r, 0.5, float64(cfg.MaxQueryAttrs)+0.5)))
+			if z < 1 {
+				z = 1
+			}
+			set := make(map[int]bool, z)
+			for k := 0; k < z; k++ {
+				v := math.Pow(uniform(r, 1, math.Pow(float64(nt), 1/0.3)), 0.3)
+				pos := int(math.Round(v))
+				if pos < 1 {
+					pos = 1
+				}
+				if pos > nt {
+					pos = nt
+				}
+				set[tb.Attrs[pos-1]] = true
+			}
+			qa := make([]int, 0, len(set))
+			for a := range set {
+				qa = append(qa, a)
+			}
+			freq := int64(math.Round(uniform(r, 1, float64(cfg.MaxFreq))))
+			if freq < 1 {
+				freq = 1
+			}
+			queries = append(queries, Query{ID: len(queries), Table: tb.ID, Attrs: qa, Freq: freq})
+		}
+	}
+	attrs := make([]Attribute, w.NumAttrs())
+	copy(attrs, w.Attrs())
+	tables := make([]Table, len(w.Tables))
+	copy(tables, w.Tables)
+	return New(tables, attrs, queries)
+}
+
+// MustGenerate is Generate that panics on error; intended for tests and
+// benchmarks with known-good configs.
+func MustGenerate(cfg GenConfig) *Workload {
+	w, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

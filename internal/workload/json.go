@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonWorkload is the on-disk representation used by the cmd tools.
+type jsonWorkload struct {
+	Tables  []jsonTable `json:"tables"`
+	Queries []jsonQuery `json:"queries"`
+}
+
+type jsonTable struct {
+	Name  string     `json:"name"`
+	Rows  int64      `json:"rows"`
+	Attrs []jsonAttr `json:"attributes"`
+}
+
+type jsonAttr struct {
+	Name      string `json:"name"`
+	Distinct  int64  `json:"distinct"`
+	ValueSize int    `json:"value_size"`
+}
+
+type jsonQuery struct {
+	// Attrs names the accessed attributes as "TABLE.COLUMN" or plain column
+	// names unique across the workload.
+	Attrs []string `json:"attributes"`
+	Freq  int64    `json:"frequency"`
+	// Kind is "select" (default), "insert" or "update".
+	Kind string `json:"kind,omitempty"`
+}
+
+// Marshal serializes w to the JSON interchange format.
+func Marshal(w *Workload) ([]byte, error) {
+	jw := jsonWorkload{}
+	for _, t := range w.Tables {
+		jt := jsonTable{Name: t.Name, Rows: t.Rows}
+		for _, id := range t.Attrs {
+			a := w.Attr(id)
+			jt.Attrs = append(jt.Attrs, jsonAttr{Name: a.Name, Distinct: a.Distinct, ValueSize: a.ValueSize})
+		}
+		jw.Tables = append(jw.Tables, jt)
+	}
+	for _, q := range w.Queries {
+		jq := jsonQuery{Freq: q.Freq}
+		if q.Kind != Select {
+			jq.Kind = q.Kind.String()
+		}
+		for _, id := range q.Attrs {
+			jq.Attrs = append(jq.Attrs, w.Attr(id).Name)
+		}
+		jw.Queries = append(jw.Queries, jq)
+	}
+	return json.MarshalIndent(jw, "", "  ")
+}
+
+// Write serializes w as JSON to out.
+func Write(out io.Writer, w *Workload) error {
+	b, err := Marshal(w)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(b, '\n'))
+	return err
+}
+
+// Unmarshal parses the JSON interchange format produced by Marshal.
+// Attribute names must be unique across the workload (Marshal guarantees
+// this by qualifying them with the table name).
+func Unmarshal(data []byte) (*Workload, error) {
+	var jw jsonWorkload
+	if err := json.Unmarshal(data, &jw); err != nil {
+		return nil, fmt.Errorf("workload: parsing JSON: %w", err)
+	}
+	var (
+		tables []Table
+		attrs  []Attribute
+		byName = make(map[string]int)
+	)
+	for ti, jt := range jw.Tables {
+		t := Table{ID: ti, Name: jt.Name, Rows: jt.Rows}
+		for _, ja := range jt.Attrs {
+			if _, dup := byName[ja.Name]; dup {
+				return nil, fmt.Errorf("workload: duplicate attribute name %q", ja.Name)
+			}
+			id := len(attrs)
+			attrs = append(attrs, Attribute{
+				ID: id, Table: ti, Name: ja.Name,
+				Distinct: ja.Distinct, ValueSize: ja.ValueSize,
+			})
+			byName[ja.Name] = id
+			t.Attrs = append(t.Attrs, id)
+		}
+		tables = append(tables, t)
+	}
+	var queries []Query
+	for qi, jq := range jw.Queries {
+		q := Query{ID: qi, Table: -1, Freq: jq.Freq}
+		switch jq.Kind {
+		case "", "select":
+			q.Kind = Select
+		case "insert":
+			q.Kind = Insert
+		case "update":
+			q.Kind = Update
+		default:
+			return nil, fmt.Errorf("workload: query %d has unknown kind %q", qi, jq.Kind)
+		}
+		for _, name := range jq.Attrs {
+			id, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("workload: query %d references unknown attribute %q", qi, name)
+			}
+			if q.Table == -1 {
+				q.Table = attrs[id].Table
+			}
+			q.Attrs = append(q.Attrs, id)
+		}
+		if q.Table == -1 {
+			return nil, fmt.Errorf("workload: query %d accesses no attributes", qi)
+		}
+		queries = append(queries, q)
+	}
+	return New(tables, attrs, queries)
+}
+
+// Read parses a JSON workload from in.
+func Read(in io.Reader) (*Workload, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading JSON: %w", err)
+	}
+	return Unmarshal(data)
+}

@@ -1,0 +1,140 @@
+package workload
+
+import "fmt"
+
+// TPCC builds the aggregated TPC-C workload of the paper's Figure 1: the ten
+// distinct conjunctive attribute-access templates q1..q10 obtained by
+// aggregating the selections of all TPC-C transactions (cf. git.io/pytpcc),
+// over the eight TPC-C tables at the given warehouse count.
+//
+// Query frequencies follow the TPC-C transaction mix (new-order 45%,
+// payment 43%, order-status 4%, delivery 4%, stock-level 4%), scaled so the
+// per-transaction multiplicities are preserved (e.g. ~10 stock lookups per
+// new-order).
+func TPCC(warehouses int64) (*Workload, error) {
+	if warehouses < 1 {
+		return nil, fmt.Errorf("workload: TPC-C needs at least one warehouse (got %d)", warehouses)
+	}
+	wh := warehouses
+	const (
+		districtsPerWH   = 10
+		customersPerDist = 3_000
+		itemCount        = 100_000
+		ordersPerDist    = 3_000
+		orderLinesPerOrd = 10
+	)
+
+	type colSpec struct {
+		name     string
+		distinct int64
+		size     int
+	}
+	type tableSpec struct {
+		name string
+		rows int64
+		cols []colSpec
+	}
+	min64 := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	specs := []tableSpec{
+		{"WHOUS", wh, []colSpec{
+			{"ID", wh, 4}, {"NAME", wh, 10}, {"TAX", 100, 4}, {"YTD", wh, 8},
+		}},
+		{"DIST", wh * districtsPerWH, []colSpec{
+			{"W_ID", wh, 4}, {"ID", districtsPerWH, 4}, {"NAME", wh * districtsPerWH, 10},
+			{"TAX", 100, 4}, {"NEXT_O_ID", ordersPerDist, 4},
+		}},
+		{"CUST", wh * districtsPerWH * customersPerDist, []colSpec{
+			{"W_ID", wh, 4}, {"D_ID", districtsPerWH, 4}, {"ID", customersPerDist, 4},
+			{"LAST", 1_000, 16}, {"BALANCE", 100_000, 8},
+		}},
+		{"ORD", wh * districtsPerWH * ordersPerDist, []colSpec{
+			{"ID", ordersPerDist, 4}, {"W_ID", wh, 4}, {"D_ID", districtsPerWH, 4},
+			{"C_ID", customersPerDist, 4}, {"CARRIER_ID", 10, 4},
+		}},
+		{"N_ORD", wh * districtsPerWH * ordersPerDist / 3, []colSpec{
+			{"W_ID", wh, 4}, {"D_ID", districtsPerWH, 4}, {"O_ID", ordersPerDist, 4},
+		}},
+		{"ORDLN", wh * districtsPerWH * ordersPerDist * orderLinesPerOrd, []colSpec{
+			{"W_ID", wh, 4}, {"D_ID", districtsPerWH, 4}, {"O_ID", ordersPerDist, 4},
+			{"NUMBER", orderLinesPerOrd, 4}, {"I_ID", itemCount, 4}, {"AMOUNT", 100_000, 8},
+		}},
+		{"ITEM", itemCount, []colSpec{
+			{"ID", itemCount, 4}, {"NAME", itemCount, 14}, {"PRICE", 10_000, 4},
+		}},
+		{"STOCK", wh * itemCount, []colSpec{
+			{"W_ID", wh, 4}, {"I_ID", itemCount, 4}, {"QUANTITY", 100, 4}, {"YTD", 100_000, 4},
+		}},
+	}
+
+	var (
+		tables []Table
+		attrs  []Attribute
+		byName = make(map[string]int) // "TABLE.COL" -> global attr ID
+	)
+	for ti, ts := range specs {
+		t := Table{ID: ti, Name: ts.name, Rows: ts.rows}
+		for _, c := range ts.cols {
+			id := len(attrs)
+			attrs = append(attrs, Attribute{
+				ID:        id,
+				Table:     ti,
+				Name:      ts.name + "." + c.name,
+				Distinct:  min64(c.distinct, ts.rows),
+				ValueSize: c.size,
+			})
+			byName[ts.name+"."+c.name] = id
+			t.Attrs = append(t.Attrs, id)
+		}
+		tables = append(tables, t)
+	}
+
+	tableID := make(map[string]int, len(specs))
+	for ti, ts := range specs {
+		tableID[ts.name] = ti
+	}
+	mk := func(id int, freq int64, cols ...string) Query {
+		q := Query{ID: id, Table: -1, Freq: freq}
+		for _, c := range cols {
+			a, ok := byName[c]
+			if !ok {
+				panic("workload: unknown TPC-C column " + c)
+			}
+			if q.Table == -1 {
+				q.Table = attrs[a].Table
+			}
+			q.Attrs = append(q.Attrs, a)
+		}
+		_ = tableID
+		return q
+	}
+
+	// Frequencies per 100 transactions of the standard TPC-C mix, preserving
+	// per-transaction multiplicities (10 order lines per new-order).
+	queries := []Query{
+		mk(0, 4, "STOCK.W_ID", "STOCK.I_ID", "STOCK.QUANTITY"),            // q1: stock-level threshold check
+		mk(1, 4, "ORD.ID", "ORD.W_ID", "ORD.D_ID"),                        // q2: order lookup by id
+		mk(2, 47, "CUST.W_ID", "CUST.ID"),                                 // q3: customer point access (payment, order-status)
+		mk(3, 4, "N_ORD.W_ID", "N_ORD.D_ID", "N_ORD.O_ID"),                // q4: delivery — oldest new order
+		mk(4, 450, "STOCK.I_ID", "STOCK.W_ID"),                            // q5: new-order stock per line
+		mk(5, 44, "ORDLN.W_ID", "ORDLN.D_ID", "ORDLN.O_ID", "ORDLN.I_ID"), // q6: order lines of an order
+		mk(6, 450, "ITEM.ID"),                                             // q7: item lookup per line
+		mk(7, 88, "WHOUS.ID"),                                             // q8: warehouse point access
+		mk(8, 4, "ORD.C_ID", "ORD.W_ID", "ORD.D_ID"),                      // q9: order-status — last order of customer
+		mk(9, 98, "DIST.W_ID", "DIST.ID"),                                 // q10: district point access
+	}
+	return New(tables, attrs, queries)
+}
+
+// MustTPCC is TPCC that panics on error.
+func MustTPCC(warehouses int64) *Workload {
+	w, err := TPCC(warehouses)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

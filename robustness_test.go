@@ -1,0 +1,94 @@
+package indexsel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+)
+
+// TestNoisyCostRobustness injects multiplicative what-if noise (the paper's
+// Section IV-B motivation: optimizer estimates are "too often inaccurate")
+// and checks that Extend still returns a feasible selection whose TRUE cost
+// is close to the noise-free run's.
+func TestNoisyCostRobustness(t *testing.T) {
+	w := smallWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	budget := m.Budget(0.3)
+
+	clean, err := core.Select(w, whatif.New(m), core.Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []float64{0.05, 0.15, 0.3} {
+		noisy := whatif.NoisySource{Src: m, Eps: eps, Seed: 99}
+		res, err := core.Select(w, whatif.New(noisy), core.Options{Budget: budget})
+		if err != nil {
+			t.Fatalf("eps %v: %v", eps, err)
+		}
+		if got := m.TotalSize(res.Selection); got > budget {
+			t.Errorf("eps %v: true memory %d exceeds budget %d", eps, got, budget)
+		}
+		trueCost := m.TotalCost(res.Selection)
+		if trueCost > clean.Cost*(1+2*eps)+1e-9 {
+			t.Errorf("eps %v: true cost %v degraded beyond 1+2eps vs clean %v",
+				eps, trueCost, clean.Cost)
+		}
+	}
+}
+
+// TestSelectionAtBudgetProperty: for any replay budget, the returned
+// selection's memory never exceeds it and its cost matches a from-scratch
+// evaluation.
+func TestSelectionAtBudgetProperty(t *testing.T) {
+	w := smallWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	res, err := core.Select(w, whatif.New(m), core.Options{Budget: m.Budget(0.6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no steps")
+	}
+	maxMem := res.Memory
+	f := func(raw uint32) bool {
+		budget := int64(raw) % (2 * maxMem)
+		sel, cost, mem := res.SelectionAt(budget)
+		if mem > budget {
+			return false
+		}
+		got := m.TotalCost(sel)
+		return got <= cost*1.000001 && got >= cost*0.999999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFrontierDominatesHeuristics: at every prefix budget of the Extend
+// trace, Extend's cost is at least as good as the frequency heuristic H1's
+// at the same budget — the qualitative Figure 2/4 relationship.
+func TestFrontierDominatesHeuristics(t *testing.T) {
+	w := smallWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	res, err := core.Select(w, whatif.New(m), core.Options{Budget: m.Budget(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Steps {
+		if i%3 != 0 {
+			continue // sample a third of the budgets to keep the test fast
+		}
+		adv := NewAdvisor(w, WithBudgetBytes(s.MemAfter))
+		h1, err := adv.Select(StrategyH1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cost, _ := res.SelectionAt(s.MemAfter)
+		if cost > h1.Cost*1.0001 {
+			t.Errorf("budget %d: Extend cost %v worse than H1 %v", s.MemAfter, cost, h1.Cost)
+		}
+	}
+}
