@@ -1,0 +1,24 @@
+# Developer entry points. `make bench-core` records the BenchmarkSelect
+# matrix (serial/parallel x full/incremental candidate evaluation) as
+# results/BENCH_core.json so the Algorithm-1 perf trajectory is tracked
+# across PRs.
+
+GO ?= go
+BENCH_COUNT ?= 3
+BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental)$$
+
+.PHONY: build test race bench-core
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/whatif ./internal/engine
+
+bench-core:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
+		-count $(BENCH_COUNT) -timeout 60m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > results/BENCH_core.json

@@ -64,12 +64,13 @@ type Advisor struct {
 	mode        CostMode
 	measured    *MeasuredSource
 
-	candidates []Index
-	gap        float64
-	timeLimit  time.Duration
-	skyline    bool
-	dominance  bool
-	extendOpts core.Options
+	candidates  []Index
+	gap         float64
+	timeLimit   time.Duration
+	skyline     bool
+	dominance   bool
+	extendOpts  core.Options
+	parallelism int
 
 	model *costmodel.Model // nil when measured
 }
@@ -114,6 +115,15 @@ func WithDominanceReduction() Option { return func(ad *Advisor) { ad.dominance =
 // Budget is still controlled by the advisor's budget options.
 func WithExtendOptions(opts core.Options) Option {
 	return func(ad *Advisor) { ad.extendOpts = opts }
+}
+
+// WithParallelism sets the number of worker goroutines Algorithm 1 uses to
+// evaluate candidate steps (0, the default, uses GOMAXPROCS; 1 forces serial
+// evaluation). Results are identical at every setting — candidate gains are
+// computed whole per goroutine and reduced deterministically. It overrides
+// the Parallelism field of WithExtendOptions regardless of option order.
+func WithParallelism(n int) Option {
+	return func(ad *Advisor) { ad.parallelism = n }
 }
 
 // NewAdvisor builds an advisor for the workload.
@@ -204,6 +214,9 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 	case StrategyExtend:
 		opts := ad.extendOpts
 		opts.Budget = budget
+		if ad.parallelism != 0 {
+			opts.Parallelism = ad.parallelism
+		}
 		if ad.measured != nil {
 			opts.ExactEvaluation = true
 		}

@@ -210,6 +210,76 @@ func BenchmarkEngineIndexBuild(b *testing.B) {
 	}
 }
 
+// --- BenchmarkSelect family: the Algorithm-1 candidate-evaluator matrix ---
+//
+// Four variants of the same frontier run — serial/parallel crossed with
+// full/incremental candidate evaluation — over the TPC-C template workload
+// (whose single trace answers the paper's 16-budget sweep via SelectionAt)
+// and a scaled-down generated ERP workload. `make bench-core` records the
+// matrix as results/BENCH_core.json so the perf trajectory is tracked
+// across PRs. All four variants produce identical step traces (asserted by
+// TestParallelTraceMatchesSerial); only the wall clock differs.
+
+type selectBenchCase struct {
+	name string
+	w    *workload.Workload
+}
+
+func selectBenchCases(b *testing.B) []selectBenchCase {
+	b.Helper()
+	tpcc, err := workload.TPCC(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	erpCfg := workload.DefaultERPConfig()
+	erpCfg.Tables, erpCfg.TotalAttrs, erpCfg.Queries = 60, 500, 280
+	erpCfg.MinRows, erpCfg.MaxRows = 50_000, 2_000_000
+	erpCfg.TotalExecutions = 1_000_000
+	erp, err := workload.GenerateERP(erpCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []selectBenchCase{{"TPCC", tpcc}, {"ERP", erp}}
+}
+
+func runSelectBench(b *testing.B, parallelism int, disableIncremental bool) {
+	b.Helper()
+	for _, bc := range selectBenchCases(b) {
+		b.Run(bc.name, func(b *testing.B) {
+			m := costmodel.New(bc.w, costmodel.SingleIndex)
+			budget := m.Budget(0.8) // frontier run: one trace serves every smaller budget
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt := whatif.New(m) // cold what-if cache every iteration
+				_, err := core.Select(bc.w, opt, core.Options{
+					Budget:             budget,
+					Parallelism:        parallelism,
+					DisableIncremental: disableIncremental,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelectSeed reproduces the pre-optimization evaluator: one worker,
+// every candidate re-evaluated at every construction step.
+func BenchmarkSelectSeed(b *testing.B) { runSelectBench(b, 1, true) }
+
+// BenchmarkSelectIncremental isolates the incremental invalidation layer
+// (serial evaluation, cached gains reused across steps).
+func BenchmarkSelectIncremental(b *testing.B) { runSelectBench(b, 1, false) }
+
+// BenchmarkSelectParallel isolates the worker pool (all cores, gains
+// recomputed every step).
+func BenchmarkSelectParallel(b *testing.B) { runSelectBench(b, 0, true) }
+
+// BenchmarkSelectParallelIncremental is the production configuration: worker
+// pool plus incremental invalidation.
+func BenchmarkSelectParallelIncremental(b *testing.B) { runSelectBench(b, 0, false) }
+
 // BenchmarkAblation_Remark1 regenerates the Remark 1/2 extension ablation.
 func BenchmarkAblation_Remark1(b *testing.B) { runExperiment(b, "ablation") }
 

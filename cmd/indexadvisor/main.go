@@ -7,8 +7,12 @@
 //	indexadvisor -workload w.json -budget-share 0.2
 //	indexadvisor -workload w.json -strategy cophy -candidates 1000 -gap 0.05
 //	indexadvisor -workload w.json -strategy h5 -budget-bytes 100000000
+//	indexadvisor -workload w.json -parallelism 8 -cpuprofile extend.pprof
 //
-// The default strategy is the paper's recursive Extend algorithm (H6).
+// The default strategy is the paper's recursive Extend algorithm (H6), which
+// evaluates candidate steps on all cores (-parallelism to override) with
+// identical results at any setting; -cpuprofile records a pprof profile of
+// the selection for performance work.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -45,6 +50,8 @@ func main() {
 		gap         = flag.Float64("gap", 0.05, "cophy optimality gap")
 		timeLimit   = flag.Duration("timelimit", time.Minute, "cophy time limit")
 		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
+		parallelism = flag.Int("parallelism", 0, "extend worker goroutines (0 = all cores, 1 = serial; identical results)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
 	)
 	flag.Parse()
 	if (*path == "") == (*sqlPath == "") {
@@ -89,6 +96,7 @@ func main() {
 		indexsel.WithGap(*gap),
 		indexsel.WithTimeLimit(*timeLimit),
 		indexsel.WithDominanceReduction(),
+		indexsel.WithParallelism(*parallelism),
 	}
 	if *budgetBytes > 0 {
 		opts = append(opts, indexsel.WithBudgetBytes(*budgetBytes))
@@ -104,9 +112,23 @@ func main() {
 	}
 
 	adv := indexsel.NewAdvisor(w, opts...)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	rec, err := adv.Select(strat)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile() // flush before printing; deferred stop is a no-op
 	}
 
 	fmt.Printf("strategy:    %v\n", rec.Strategy)

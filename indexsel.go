@@ -214,9 +214,11 @@ func CompressByCoverage(w *Workload, eps float64) (*Workload, CompressionStats, 
 // ConstructionStep re-exports one step of Algorithm 1's trace.
 type ConstructionStep = core.Step
 
-// ExtendOptions re-exports Algorithm 1's knobs (budget, max steps, and the
-// Remark 1 extensions); pass via WithExtendOptions. The advisor's budget
-// options override the Budget field.
+// ExtendOptions re-exports Algorithm 1's knobs (budget, max steps, the
+// Remark 1 extensions, and the candidate-evaluator performance knobs
+// Parallelism/DisableIncremental); pass via WithExtendOptions. The advisor's
+// budget options override the Budget field, and WithParallelism overrides
+// the Parallelism field.
 type ExtendOptions = core.Options
 
 // FrontierPoint is a (memory, cost) combination of the Extend trace.

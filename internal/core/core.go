@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/whatif"
@@ -63,8 +64,22 @@ type Options struct {
 	ExactEvaluation bool
 	// Reconfig, if non-nil, returns R(I*, I-bar*) for a candidate selection;
 	// it is added to the workload cost when comparing steps. The current
-	// selection I-bar* is the caller's to capture.
+	// selection I-bar* is the caller's to capture. Because the callback's
+	// thread-safety is unknown and its value depends on the whole selection,
+	// setting it forces serial, non-incremental candidate evaluation.
 	Reconfig func(sel workload.Selection) float64
+	// Parallelism is the number of worker goroutines that evaluate candidate
+	// steps concurrently; 0 uses GOMAXPROCS, 1 forces serial evaluation.
+	// Parallel and serial runs produce identical step traces: candidates are
+	// enumerated in a fixed order, each candidate's gain is computed by a
+	// single goroutine, and the winning step is chosen by a serial reduction
+	// over that fixed order.
+	Parallelism int
+	// DisableIncremental turns off the incremental gain cache, re-evaluating
+	// every candidate step from scratch at every construction step (the
+	// pre-optimization behavior). Results are identical either way; the knob
+	// exists for benchmarking and equivalence testing.
+	DisableIncremental bool
 }
 
 // StepKind labels a construction step.
@@ -216,16 +231,43 @@ type selector struct {
 	mem   int64            // P(I)
 	recon float64          // R(I) under opts.Reconfig (0 if nil)
 
-	writeQs   []int              // IDs of Insert/Update templates
-	maintCost map[string]float64 // index key -> frequency-weighted maintenance
+	writeQs   []int                  // IDs of Insert/Update templates
+	maintCost *shardedCache[float64] // index key -> frequency-weighted maintenance
 
-	// candCost caches f_j(candidate) aligned with queriesWith[lead].
-	candCost map[string][]float64
+	// candCost caches f_j(candidate) aligned with queriesWith[lead]. Sharded:
+	// worker goroutines fill it concurrently during the parallel phase.
+	candCost *shardedCache[[]float64]
+
+	// workers is the resolved evaluation parallelism (>= 1).
+	workers int
+	// gains caches evaluated candidate steps between construction steps,
+	// bucketed by the candidate index's leading attribute so that apply()
+	// can invalidate exactly the buckets whose query sets changed. Nil when
+	// incremental evaluation is disabled (DisableIncremental or Reconfig).
+	gains map[int]map[gainKey]gainEntry
 
 	singleAllowed map[int]bool // non-nil when TopNSingle restricts step 3a
 	pairs         [][2]int     // pair universe for PairSteps
 
 	steps []Step
+}
+
+// gainKey identifies a candidate step: the step kind plus the key of the
+// index the step would create. For extension steps the pre-extension index
+// is implied (the key minus its last one or two attributes), so the pair is
+// unique across the whole candidate universe.
+type gainKey struct {
+	kind StepKind
+	key  string
+}
+
+// gainEntry is a cached evaluation outcome: the candidate and whether it is
+// a viable step (positive gain and memory growth). Selection-membership and
+// budget checks are NOT part of the entry — they depend on per-step state
+// and are re-applied cheaply on every use.
+type gainEntry struct {
+	c  candidate
+	ok bool
 }
 
 func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *selector {
@@ -235,7 +277,19 @@ func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *sel
 		opts:     opts,
 		sel:      workload.NewSelection(),
 		size:     make(map[string]int64),
-		candCost: make(map[string][]float64),
+		candCost: newShardedCache[[]float64](),
+	}
+	s.workers = opts.Parallelism
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Reconfig != nil {
+		// The reconfiguration callback is user code of unknown thread-safety
+		// and couples every candidate's gain to the whole selection.
+		s.workers = 1
+	}
+	if !opts.DisableIncremental && opts.Reconfig == nil {
+		s.gains = make(map[int]map[gainKey]gainEntry)
 	}
 	s.queriesWith = make([][]int, w.NumAttrs())
 	for _, q := range w.Queries {
@@ -249,7 +303,7 @@ func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *sel
 			s.queriesWith[a] = append(s.queriesWith[a], q.ID)
 		}
 	}
-	s.maintCost = make(map[string]float64)
+	s.maintCost = newShardedCache[float64]()
 	s.base = make([]float64, w.NumQueries())
 	s.cost = make([]float64, w.NumQueries())
 	s.served = make([]map[string]float64, w.NumQueries())
@@ -266,10 +320,12 @@ func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *sel
 }
 
 // costsFor returns f_j(k) for the queries in queriesWith[k.Leading()],
-// computing and caching them on first use.
+// computing and caching them on first use. Safe for concurrent use: workers
+// evaluating distinct candidates share the cache; a racing recomputation of
+// the same key produces the identical (deterministic) slice.
 func (s *selector) costsFor(k workload.Index) []float64 {
 	key := k.Key()
-	if c, ok := s.candCost[key]; ok {
+	if c, ok := s.candCost.get(key); ok {
 		return c
 	}
 	qs := s.queriesWith[k.Leading()]
@@ -277,7 +333,7 @@ func (s *selector) costsFor(k workload.Index) []float64 {
 	for i, qid := range qs {
 		c[i] = s.opt.CostWithIndex(s.w.Queries[qid], k)
 	}
-	s.candCost[key] = c
+	s.candCost.put(key, c)
 	return c
 }
 
@@ -288,7 +344,7 @@ func (s *selector) costsFor(k workload.Index) []float64 {
 // (Section III-A), so no what-if call is spent on them.
 func (s *selector) extCostsFor(base, ext workload.Index) []float64 {
 	key := ext.Key()
-	if c, ok := s.candCost[key]; ok {
+	if c, ok := s.candCost.get(key); ok {
 		return c
 	}
 	if s.opts.ExactEvaluation {
@@ -305,7 +361,7 @@ func (s *selector) extCostsFor(base, ext workload.Index) []float64 {
 			c[i] = s.opt.CostWithIndex(q, ext)
 		}
 	}
-	s.candCost[key] = c
+	s.candCost.put(key, c)
 	return c
 }
 
@@ -313,7 +369,7 @@ func (s *selector) extCostsFor(base, ext workload.Index) []float64 {
 // write templates impose on index k, cached per index key.
 func (s *selector) maintFor(k workload.Index) float64 {
 	key := k.Key()
-	if c, ok := s.maintCost[key]; ok {
+	if c, ok := s.maintCost.get(key); ok {
 		return c
 	}
 	var cost float64
@@ -321,7 +377,7 @@ func (s *selector) maintFor(k workload.Index) float64 {
 		q := s.w.Queries[qid]
 		cost += float64(q.Freq) * s.opt.MaintenanceCost(q, k)
 	}
-	s.maintCost[key] = cost
+	s.maintCost.put(key, cost)
 	return cost
 }
 
@@ -336,17 +392,18 @@ func (s *selector) indexSize(k workload.Index) int64 {
 type candidate struct {
 	kind     StepKind
 	index    workload.Index
+	key      string // index.Key(), precomputed for tie-breaking
 	replaced *workload.Index
 	gain     float64 // cost reduction F(I)+R(I) - F(Ĩ) - R(Ĩ)
 	deltaMem int64
 	ratio    float64
 }
 
-// evalNew computes the gain of adding idx as a brand-new index.
+// evalNew computes the gain of adding idx as a brand-new index. It is a pure
+// function of the frozen per-step state (cost, served, selection sizes) and
+// may run on any worker goroutine; selection-membership filtering happens in
+// enumerate().
 func (s *selector) evalNew(idx workload.Index, kind StepKind) (candidate, bool) {
-	if s.sel.Has(idx) {
-		return candidate{}, false
-	}
 	costs := s.costsFor(idx)
 	qs := s.queriesWith[idx.Leading()]
 	var gain float64
@@ -365,17 +422,15 @@ func (s *selector) evalNew(idx workload.Index, kind StepKind) (candidate, bool) 
 	if gain <= 0 || dm <= 0 {
 		return candidate{}, false
 	}
-	return candidate{kind: kind, index: idx, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+	return candidate{kind: kind, index: idx, key: idx.Key(), gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
 }
 
 // evalExtend computes the gain of morphing selected index k into k with
 // extra attributes appended. Extending can degrade queries that used k but
 // cannot cover the new attributes (wider keys probe slower), so the gain
-// accounts for replacements, not just improvements.
+// accounts for replacements, not just improvements. Like evalNew it is safe
+// to run on any worker goroutine.
 func (s *selector) evalExtend(k workload.Index, ext workload.Index, kind StepKind) (candidate, bool) {
-	if s.sel.Has(ext) {
-		return candidate{}, false
-	}
 	kKey := k.Key()
 	costs := s.extCostsFor(k, ext)
 	qs := s.queriesWith[k.Leading()]
@@ -408,7 +463,7 @@ func (s *selector) evalExtend(k workload.Index, ext workload.Index, kind StepKin
 		return candidate{}, false
 	}
 	kc := k
-	return candidate{kind: kind, index: ext, replaced: &kc, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+	return candidate{kind: kind, index: ext, key: ext.Key(), replaced: &kc, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
 }
 
 // better reports whether a should be preferred over b (higher ratio; ties
@@ -420,24 +475,32 @@ func better(a, b candidate) bool {
 	if a.kind != b.kind {
 		return a.kind < b.kind
 	}
-	return a.index.Key() < b.index.Key()
+	return a.key < b.key
 }
 
-// collect enumerates and evaluates all candidate steps that fit the budget.
-func (s *selector) collect() (best, second candidate, ok bool) {
-	consider := func(c candidate, valid bool) {
-		if !valid || s.mem+c.deltaMem > s.opts.Budget {
-			return
-		}
-		if !ok || better(c, best) {
-			if ok {
-				second = best
-			}
-			best, ok = c, true
-		} else if second.index.Attrs == nil || better(c, second) {
-			second = c
-		}
+// evalTask is one candidate step awaiting evaluation. For extension kinds,
+// base is the selected pre-extension index.
+type evalTask struct {
+	kind    StepKind
+	index   workload.Index
+	base    workload.Index
+	hasBase bool
+}
+
+func (s *selector) evalCandidate(t evalTask) (candidate, bool) {
+	if t.hasBase {
+		return s.evalExtend(t.base, t.index, t.kind)
 	}
+	return s.evalNew(t.index, t.kind)
+}
+
+// enumerate lists every candidate step of the current construction step in a
+// fixed, deterministic order: step (3a) singles, step (3b) one-attribute
+// extensions, then the Remark 1.4 pair universe. Cheap state-dependent
+// filters (TopNSingle, empty query sets, already-selected indexes) are
+// applied here, outside both the gain cache and the parallel phase.
+func (s *selector) enumerate() []evalTask {
+	var tasks []evalTask
 
 	// Step (3a): new single-attribute indexes.
 	for _, a := range s.w.Attrs() {
@@ -448,7 +511,10 @@ func (s *selector) collect() (best, second candidate, ok bool) {
 			continue
 		}
 		idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
-		consider(s.evalNew(idx, StepNewIndex))
+		if s.sel.Has(idx) {
+			continue
+		}
+		tasks = append(tasks, evalTask{kind: StepNewIndex, index: idx})
 	}
 
 	// Step (3b): append one attribute to each selected index.
@@ -457,23 +523,122 @@ func (s *selector) collect() (best, second candidate, ok bool) {
 			if k.Contains(a) {
 				continue
 			}
-			consider(s.evalExtend(k, k.Append(a), StepExtend))
+			ext := k.Append(a)
+			if s.sel.Has(ext) {
+				continue
+			}
+			tasks = append(tasks, evalTask{kind: StepExtend, index: ext, base: k, hasBase: true})
 		}
 	}
 
 	if s.opts.PairSteps {
 		for _, p := range s.pairUniverse() {
 			idx := workload.Index{Table: s.w.TableOf(p[0]), Attrs: []int{p[0], p[1]}}
-			consider(s.evalNew(idx, StepNewPair))
+			if !s.sel.Has(idx) {
+				tasks = append(tasks, evalTask{kind: StepNewPair, index: idx})
+			}
 			for _, k := range s.sel.Sorted() {
 				if k.Table != idx.Table || k.Contains(p[0]) || k.Contains(p[1]) {
 					continue
 				}
-				consider(s.evalExtend(k, k.Append(p[0]).Append(p[1]), StepExtendPair))
+				ext := k.Append(p[0]).Append(p[1])
+				if s.sel.Has(ext) {
+					continue
+				}
+				tasks = append(tasks, evalTask{kind: StepExtendPair, index: ext, base: k, hasBase: true})
 			}
 		}
 	}
-	return best, second, ok
+	return tasks
+}
+
+// collect enumerates and evaluates all candidate steps that fit the budget.
+// Evaluation is incremental — candidates untouched by previous steps come
+// from the gain cache — and the cache misses are fanned out over the worker
+// pool. The reduction runs serially over the fixed enumeration order with
+// the deterministic better() tie-break, so the chosen step (and runner-up)
+// is identical for every Parallelism setting.
+func (s *selector) collect() (best, second candidate, haveSecond, ok bool) {
+	tasks := s.enumerate()
+	results := make([]gainEntry, len(tasks))
+	pending := make([]int, 0, len(tasks))
+	for i, t := range tasks {
+		if e, hit := s.cachedGain(t); hit {
+			results[i] = e
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	s.evalPending(tasks, results, pending)
+
+	for _, i := range pending {
+		s.storeGain(tasks[i], results[i])
+	}
+
+	for _, r := range results {
+		c := r.c
+		if !r.ok || s.mem+c.deltaMem > s.opts.Budget {
+			continue
+		}
+		if !ok || better(c, best) {
+			if ok {
+				second, haveSecond = best, true
+			}
+			best, ok = c, true
+		} else if !haveSecond || better(c, second) {
+			second, haveSecond = c, true
+		}
+	}
+	return best, second, haveSecond, ok
+}
+
+// cachedGain looks up a previously evaluated candidate. Only gains whose
+// inputs are untouched since evaluation survive in the cache (see
+// invalidateGains), so a hit is exactly the value a recomputation would
+// produce.
+func (s *selector) cachedGain(t evalTask) (gainEntry, bool) {
+	if s.gains == nil {
+		return gainEntry{}, false
+	}
+	bucket, ok := s.gains[t.index.Leading()]
+	if !ok {
+		return gainEntry{}, false
+	}
+	e, ok := bucket[gainKey{t.kind, t.index.Key()}]
+	return e, ok
+}
+
+func (s *selector) storeGain(t evalTask, e gainEntry) {
+	if s.gains == nil {
+		return
+	}
+	lead := t.index.Leading()
+	bucket, ok := s.gains[lead]
+	if !ok {
+		bucket = make(map[gainKey]gainEntry)
+		s.gains[lead] = bucket
+	}
+	bucket[gainKey{t.kind, t.index.Key()}] = e
+}
+
+// invalidateGains drops the cached gains that an applied (or dropped) index
+// with the given leading attribute may have changed. The applied step only
+// refreshes cost/served for the queries in queriesWith[lead]; a cached
+// candidate reads those per-query values exactly for the queries in
+// queriesWith[candidate lead], so a candidate is stale iff its leading
+// attribute co-occurs with lead in some query. Everything else is reused
+// as-is — this is what makes each H6 step O(affected candidates) instead of
+// O(all candidates).
+func (s *selector) invalidateGains(lead int) {
+	if s.gains == nil {
+		return
+	}
+	for _, qid := range s.queriesWith[lead] {
+		for _, a := range s.w.Queries[qid].Attrs {
+			delete(s.gains, a)
+		}
+	}
 }
 
 // pairUniverse lazily builds the limited pair universe for Remark 1.4:
@@ -549,6 +714,7 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 // addIndex inserts idx into the selection and refreshes affected queries.
 func (s *selector) addIndex(idx workload.Index) {
 	key := idx.Key()
+	s.invalidateGains(idx.Leading())
 	s.sel.Add(idx)
 	sz := s.indexSize(idx)
 	s.size[key] = sz
@@ -568,6 +734,7 @@ func (s *selector) addIndex(idx workload.Index) {
 // costs from their remaining served entries.
 func (s *selector) removeIndex(idx workload.Index) {
 	key := idx.Key()
+	s.invalidateGains(idx.Leading())
 	s.sel.Remove(idx)
 	s.mem -= s.size[key]
 	s.wsum -= s.maintFor(idx)
@@ -688,11 +855,10 @@ func (s *selector) run() (*Result, error) {
 		if s.opts.MaxSteps > 0 && len(s.steps) >= s.opts.MaxSteps {
 			break
 		}
-		best, second, ok := s.collect()
+		best, second, haveSecond, ok := s.collect()
 		if !ok {
 			break
 		}
-		haveSecond := second.index.Attrs != nil
 		s.apply(best, second, haveSecond)
 		if s.opts.DropUnused {
 			s.dropUnused()

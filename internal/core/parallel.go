@@ -1,0 +1,97 @@
+// Worker pool and concurrency-safe caches for the parallel candidate
+// evaluator. The construction loop alternates two phases: a parallel phase
+// in which worker goroutines evaluate candidate steps against frozen
+// selector state (collect), and a serial phase that mutates that state
+// (apply/dropUnused). The shared caches below are only written during the
+// parallel phase, and the per-query state (cost, served, size) is only
+// written during the serial phase — no lock covers it because no writer and
+// reader ever overlap.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// evalPending evaluates tasks[i] for every i in pending, storing into
+// results[i]. With one worker (or one task) it runs inline; otherwise the
+// pending list is consumed from an atomic cursor by s.workers goroutines.
+// Each candidate's gain is computed wholly by one goroutine — there is no
+// cross-goroutine floating-point accumulation — so results are bit-identical
+// to a serial run.
+func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []int) {
+	workers := s.workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for _, i := range pending {
+			results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(pending) {
+					return
+				}
+				i := pending[j]
+				results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// cacheShards is the shard count of the string-keyed caches. 32 keeps lock
+// contention negligible at any realistic GOMAXPROCS while staying cheap for
+// the serial path (one uncontended RWMutex acquisition per lookup).
+const cacheShards = 32
+
+// shardedCache is a string-keyed map sharded by FNV-1a hash. Values must be
+// deterministic functions of their key: concurrent fills of the same key may
+// both compute, and either result must be interchangeable.
+type shardedCache[V any] struct {
+	shards [cacheShards]struct {
+		mu sync.RWMutex
+		m  map[string]V
+	}
+}
+
+func newShardedCache[V any]() *shardedCache[V] {
+	c := &shardedCache[V]{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]V)
+	}
+	return c
+}
+
+func shardOf(key string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % cacheShards
+}
+
+func (c *shardedCache[V]) get(key string) (V, bool) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+func (c *shardedCache[V]) put(key string, v V) {
+	sh := &c.shards[shardOf(key)]
+	sh.mu.Lock()
+	sh.m[key] = v
+	sh.mu.Unlock()
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -317,4 +318,50 @@ func TestEndToEndWithAlgorithm1(t *testing.T) {
 	if withSel >= without {
 		t.Errorf("selection does not beat full scans: %v vs %v", withSel, without)
 	}
+}
+
+// TestConcurrentIndexBuildDeduped: concurrent requests for the same
+// (not yet built) index must all resolve to one SecondaryIndex instance,
+// with late arrivals waiting on the in-flight build instead of sorting a
+// duplicate permutation. Run under -race in CI.
+func TestConcurrentIndexBuildDeduped(t *testing.T) {
+	w := testWorkload(t, 2000)
+	db, err := New(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMeasuredSource(db, 1)
+	q := w.Queries[0]
+	k := workload.MustIndex(w, q.Attrs[0])
+
+	got := make([]*SecondaryIndex, 16)
+	done := make(chan int)
+	for g := range got {
+		go func(g int) {
+			got[g] = ms.index(k)
+			done <- g
+		}(g)
+	}
+	for range got {
+		<-done
+	}
+	for g := 1; g < len(got); g++ {
+		if got[g] != got[0] {
+			t.Fatalf("goroutine %d received a different index instance", g)
+		}
+	}
+	// Concurrent measurement over the shared instance must agree with a
+	// serial re-measurement.
+	want := ms.CostWithIndex(q, k)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if c := ms.CostWithIndex(q, k); c != want {
+				t.Errorf("concurrent CostWithIndex = %v, want %v", c, want)
+			}
+		}()
+	}
+	wg.Wait()
 }

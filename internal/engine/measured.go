@@ -18,6 +18,12 @@ import (
 // UseWallTime the cost is the minimum wall-clock time over Repeats runs
 // (the paper repeats each measurement >= 100 times); wall time is realistic
 // but machine-dependent, so tests and recorded experiments use bytes.
+//
+// MeasuredSource is safe for concurrent use: the column data is immutable
+// after New, executors keep per-run state only, and index builds are
+// deduplicated under an internal lock. Note that with UseWallTime a parallel
+// advisor run (core.Options.Parallelism > 1) measures queries under CPU
+// contention from sibling workers; the bytes metric is unaffected.
 type MeasuredSource struct {
 	db *DB
 	// Repeats is how often each (query, index) execution is repeated when
@@ -29,17 +35,19 @@ type MeasuredSource struct {
 
 	queries []PointQuery
 
-	mu      sync.Mutex
-	indexes map[string]*SecondaryIndex
+	mu       sync.Mutex
+	indexes  map[string]*SecondaryIndex
+	building map[string]chan struct{} // in-flight builds, closed when done
 }
 
 // NewMeasuredSource instantiates every workload template into an executable
 // point query (seeded deterministically) and returns the measured source.
 func NewMeasuredSource(db *DB, seed int64) *MeasuredSource {
 	ms := &MeasuredSource{
-		db:      db,
-		Repeats: 3,
-		indexes: make(map[string]*SecondaryIndex),
+		db:       db,
+		Repeats:  3,
+		indexes:  make(map[string]*SecondaryIndex),
+		building: make(map[string]chan struct{}),
 	}
 	for _, q := range db.w.Queries {
 		ms.queries = append(ms.queries, db.Instantiate(q, seed))
@@ -47,24 +55,35 @@ func NewMeasuredSource(db *DB, seed int64) *MeasuredSource {
 	return ms
 }
 
-// index returns the (cached) built secondary index for k.
+// index returns the (cached) built secondary index for k. Index construction
+// dominates end-to-end advisor time, so concurrent requests for the same key
+// are deduplicated: the first caller builds, later callers wait on the
+// in-flight build instead of sorting a duplicate permutation.
 func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 	key := k.Key()
-	ms.mu.Lock()
-	ix, ok := ms.indexes[key]
-	ms.mu.Unlock()
-	if ok {
-		return ix
-	}
-	built := ms.db.BuildIndex(k)
-	ms.mu.Lock()
-	if existing, ok := ms.indexes[key]; ok {
-		built = existing
-	} else {
+	for {
+		ms.mu.Lock()
+		if ix, ok := ms.indexes[key]; ok {
+			ms.mu.Unlock()
+			return ix
+		}
+		if inflight, ok := ms.building[key]; ok {
+			ms.mu.Unlock()
+			<-inflight
+			continue
+		}
+		done := make(chan struct{})
+		ms.building[key] = done
+		ms.mu.Unlock()
+
+		built := ms.db.BuildIndex(k)
+		ms.mu.Lock()
 		ms.indexes[key] = built
+		delete(ms.building, key)
+		ms.mu.Unlock()
+		close(done)
+		return built
 	}
-	ms.mu.Unlock()
-	return built
 }
 
 // measure executes the query under the given executor per the source's

@@ -9,6 +9,7 @@ package whatif
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/workload"
 )
@@ -37,16 +38,38 @@ type Stats struct {
 	CacheHits int64
 }
 
-// Optimizer is a concurrency-safe caching what-if facade.
+// Optimizer is a concurrency-safe caching what-if facade. The per-(query,
+// index) caches are sharded by query ID so that the parallel candidate
+// evaluator's worker goroutines do not serialize on one lock; call counters
+// are atomics. The underlying Source is invoked outside any lock and must
+// itself be safe for concurrent use (the Appendix-B cost model is stateless;
+// the engine's measured source synchronizes internally).
+//
+// Concurrent misses on the same key may both evaluate the source; both
+// results are identical (sources are deterministic), so the cache stays
+// consistent — only the Calls counter can exceed the distinct-evaluation
+// count in that (rare) case.
 type Optimizer struct {
 	src Source
 
-	mu         sync.Mutex
-	baseCache  map[int]float64     // query ID -> f_j(0)
-	indexCache map[pairKey]float64 // (query ID, index key) -> f_j(k)
-	maintCache map[pairKey]float64 // (query ID, index key) -> maintenance
-	sizeCache  map[string]int64    // index key -> p_k
-	stats      Stats
+	mu        sync.RWMutex    // guards baseCache and sizeCache
+	baseCache map[int]float64 // query ID -> f_j(0)
+	sizeCache map[string]int64
+
+	indexCache [optShards]pairShard // (query ID, index key) -> f_j(k)
+	maintCache [optShards]pairShard // (query ID, index key) -> maintenance
+
+	calls     atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// optShards is the shard count of the pair-keyed caches; a power of two well
+// above any realistic GOMAXPROCS keeps contention negligible.
+const optShards = 32
+
+type pairShard struct {
+	mu sync.RWMutex
+	m  map[pairKey]float64
 }
 
 type pairKey struct {
@@ -54,15 +77,37 @@ type pairKey struct {
 	index string
 }
 
+// shardOf spreads query IDs over the shards (Fibonacci hashing so that
+// consecutive IDs — the common access pattern — do not clump).
+func shardOf(query int) uint32 {
+	return uint32((uint64(query) * 11400714819323198485) >> 32 % optShards)
+}
+
+func (s *pairShard) get(key pairKey) (float64, bool) {
+	s.mu.RLock()
+	c, ok := s.m[key]
+	s.mu.RUnlock()
+	return c, ok
+}
+
+func (s *pairShard) put(key pairKey, c float64) {
+	s.mu.Lock()
+	s.m[key] = c
+	s.mu.Unlock()
+}
+
 // New wraps src in a caching optimizer.
 func New(src Source) *Optimizer {
-	return &Optimizer{
-		src:        src,
-		baseCache:  make(map[int]float64),
-		indexCache: make(map[pairKey]float64),
-		maintCache: make(map[pairKey]float64),
-		sizeCache:  make(map[string]int64),
+	o := &Optimizer{
+		src:       src,
+		baseCache: make(map[int]float64),
+		sizeCache: make(map[string]int64),
 	}
+	for i := range o.indexCache {
+		o.indexCache[i].m = make(map[pairKey]float64)
+		o.maintCache[i].m = make(map[pairKey]float64)
+	}
+	return o
 }
 
 // Source returns the wrapped cost source.
@@ -70,15 +115,15 @@ func (o *Optimizer) Source() Source { return o.src }
 
 // BaseCost returns f_j(0), cached per query.
 func (o *Optimizer) BaseCost(q workload.Query) float64 {
-	o.mu.Lock()
-	if c, ok := o.baseCache[q.ID]; ok {
-		o.stats.CacheHits++
-		o.mu.Unlock()
+	o.mu.RLock()
+	c, ok := o.baseCache[q.ID]
+	o.mu.RUnlock()
+	if ok {
+		o.cacheHits.Add(1)
 		return c
 	}
-	o.stats.Calls++
-	o.mu.Unlock()
-	c := o.src.BaseCost(q)
+	o.calls.Add(1)
+	c = o.src.BaseCost(q)
 	o.mu.Lock()
 	o.baseCache[q.ID] = c
 	o.mu.Unlock()
@@ -94,27 +139,21 @@ func (o *Optimizer) CostWithIndex(q workload.Query, k workload.Index) float64 {
 		return o.BaseCost(q)
 	}
 	key := pairKey{q.ID, k.Key()}
-	o.mu.Lock()
-	if c, ok := o.indexCache[key]; ok {
-		o.stats.CacheHits++
-		o.mu.Unlock()
+	shard := &o.indexCache[shardOf(q.ID)]
+	if c, ok := shard.get(key); ok {
+		o.cacheHits.Add(1)
 		return c
 	}
-	o.stats.Calls++
-	o.mu.Unlock()
+	o.calls.Add(1)
 	c := o.src.CostWithIndex(q, k)
-	o.mu.Lock()
-	o.indexCache[key] = c
-	o.mu.Unlock()
+	shard.put(key, c)
 	return c
 }
 
 // QueryCost returns f_j(I*). Whole-selection evaluations are not cached
 // (selections rarely repeat); each evaluation counts as one call.
 func (o *Optimizer) QueryCost(q workload.Query, sel workload.Selection) float64 {
-	o.mu.Lock()
-	o.stats.Calls++
-	o.mu.Unlock()
+	o.calls.Add(1)
 	return o.src.QueryCost(q, sel)
 }
 
@@ -126,16 +165,12 @@ func (o *Optimizer) MaintenanceCost(q workload.Query, k workload.Index) float64 
 		return 0
 	}
 	key := pairKey{q.ID, k.Key()}
-	o.mu.Lock()
-	if c, ok := o.maintCache[key]; ok {
-		o.mu.Unlock()
+	shard := &o.maintCache[shardOf(q.ID)]
+	if c, ok := shard.get(key); ok {
 		return c
 	}
-	o.mu.Unlock()
 	c := o.src.MaintenanceCost(q, k)
-	o.mu.Lock()
-	o.maintCache[key] = c
-	o.mu.Unlock()
+	shard.put(key, c)
 	return c
 }
 
@@ -143,13 +178,13 @@ func (o *Optimizer) MaintenanceCost(q workload.Query, k workload.Index) float64 
 // not what-if calls, and are not counted.
 func (o *Optimizer) IndexSize(k workload.Index) int64 {
 	key := k.Key()
-	o.mu.Lock()
-	if s, ok := o.sizeCache[key]; ok {
-		o.mu.Unlock()
+	o.mu.RLock()
+	s, ok := o.sizeCache[key]
+	o.mu.RUnlock()
+	if ok {
 		return s
 	}
-	o.mu.Unlock()
-	s := o.src.IndexSize(k)
+	s = o.src.IndexSize(k)
 	o.mu.Lock()
 	o.sizeCache[key] = s
 	o.mu.Unlock()
@@ -161,32 +196,29 @@ func (o *Optimizer) IndexSize(k workload.Index) int64 {
 // were made under.
 func (o *Optimizer) Invalidate(q workload.Query) {
 	o.mu.Lock()
-	defer o.mu.Unlock()
 	delete(o.baseCache, q.ID)
-	for key := range o.indexCache {
-		if key.query == q.ID {
-			delete(o.indexCache, key)
+	o.mu.Unlock()
+	for _, caches := range [2]*[optShards]pairShard{&o.indexCache, &o.maintCache} {
+		shard := &caches[shardOf(q.ID)]
+		shard.mu.Lock()
+		for key := range shard.m {
+			if key.query == q.ID {
+				delete(shard.m, key)
+			}
 		}
-	}
-	for key := range o.maintCache {
-		if key.query == q.ID {
-			delete(o.maintCache, key)
-		}
+		shard.mu.Unlock()
 	}
 }
 
 // Stats returns a snapshot of the call counters.
 func (o *Optimizer) Stats() Stats {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.stats
+	return Stats{Calls: o.calls.Load(), CacheHits: o.cacheHits.Load()}
 }
 
 // ResetStats zeroes the call counters, keeping the caches.
 func (o *Optimizer) ResetStats() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.stats = Stats{}
+	o.calls.Store(0)
+	o.cacheHits.Store(0)
 }
 
 // NoisySource wraps a Source and perturbs every cost multiplicatively by a

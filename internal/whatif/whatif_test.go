@@ -168,6 +168,57 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+// TestConcurrentValuesMatchSerial fills one optimizer from 8 goroutines and
+// one serially, then compares every cached value — the sharded caches must
+// not mix up keys or lose writes, across all four cached cost kinds.
+func TestConcurrentValuesMatchSerial(t *testing.T) {
+	cfg := workload.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable, cfg.RowsBase = 3, 12, 30, 10_000
+	cfg.WriteShare = 0.2
+	w := workload.MustGenerate(cfg)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	serial, parallel := New(m), New(m)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Different goroutines start at different offsets so shards see
+			// genuinely interleaved first-fills.
+			for i := range w.Queries {
+				q := w.Queries[(i+g*5)%len(w.Queries)]
+				parallel.BaseCost(q)
+				for _, a := range q.Attrs {
+					k := workload.MustIndex(w, a)
+					parallel.CostWithIndex(q, k)
+					parallel.MaintenanceCost(q, k)
+					parallel.IndexSize(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for _, q := range w.Queries {
+		if got, want := parallel.BaseCost(q), serial.BaseCost(q); got != want {
+			t.Fatalf("BaseCost(%d) = %v, serial %v", q.ID, got, want)
+		}
+		for _, a := range q.Attrs {
+			k := workload.MustIndex(w, a)
+			if got, want := parallel.CostWithIndex(q, k), serial.CostWithIndex(q, k); got != want {
+				t.Fatalf("CostWithIndex(%d, %v) = %v, serial %v", q.ID, k, got, want)
+			}
+			if got, want := parallel.MaintenanceCost(q, k), serial.MaintenanceCost(q, k); got != want {
+				t.Fatalf("MaintenanceCost(%d, %v) = %v, serial %v", q.ID, k, got, want)
+			}
+			if got, want := parallel.IndexSize(k), serial.IndexSize(k); got != want {
+				t.Fatalf("IndexSize(%v) = %v, serial %v", k, got, want)
+			}
+		}
+	}
+}
+
 func TestNoisySource(t *testing.T) {
 	w := testWorkload(t)
 	m := costmodel.New(w, costmodel.SingleIndex)
