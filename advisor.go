@@ -1,14 +1,27 @@
 package indexsel
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/cophy"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/heuristics"
+	"repro/internal/telemetry"
 	"repro/internal/whatif"
+)
+
+// Advisor-level telemetry (default registry; one update per Select).
+var (
+	mSelects = telemetry.Default().Counter("indexsel_select_runs_total",
+		"Completed Advisor.Select runs (all strategies).")
+	mSelectDur = telemetry.Default().Histogram("indexsel_select_duration_seconds",
+		"Wall time per Advisor.Select run.", nil)
+	mSelectErrs = telemetry.Default().Counter("indexsel_select_errors_total",
+		"Advisor.Select runs that returned an error.")
 )
 
 // Strategy identifies an index-selection algorithm.
@@ -71,6 +84,7 @@ type Advisor struct {
 	dominance   bool
 	extendOpts  core.Options
 	parallelism int
+	tel         *telemetry.Telemetry
 
 	model *costmodel.Model // nil when measured
 }
@@ -117,6 +131,19 @@ func WithExtendOptions(opts core.Options) Option {
 	return func(ad *Advisor) { ad.extendOpts = opts }
 }
 
+// WithTelemetry attaches the observability sinks of package
+// internal/telemetry to the advisor: every Select records a root span (with
+// one child span per Algorithm-1 step or CoPhy solve phase) to t.Tracer,
+// and the advisor's what-if call/hit counters and cache occupancy are bound
+// as scrape-time metrics on t.Registry (the process-wide default registry
+// when nil — the one -metrics-addr serves). Successive advisors rebinding
+// the same registry replace the binding; the exposition follows the most
+// recently constructed advisor. A nil t (or zero-value Telemetry) costs
+// nothing on the selection hot paths.
+func WithTelemetry(t *Telemetry) Option {
+	return func(ad *Advisor) { ad.tel = t }
+}
+
 // WithParallelism sets the number of worker goroutines Algorithm 1 uses to
 // evaluate candidate steps (0, the default, uses GOMAXPROCS; 1 forces serial
 // evaluation). Results are identical at every setting — candidate gains are
@@ -138,7 +165,29 @@ func NewAdvisor(w *Workload, opts ...Option) *Advisor {
 		ad.model = costmodel.New(w, ad.mode)
 		ad.opt = whatif.New(ad.model)
 	}
+	if ad.tel != nil {
+		ad.bindMetrics(ad.tel.Reg())
+	}
 	return ad
+}
+
+// bindMetrics exposes this advisor's what-if accounting as scrape-time
+// reader metrics: nothing is incremented on the hot path, the registry reads
+// the optimizer's existing atomics when scraped.
+func (ad *Advisor) bindMetrics(reg *telemetry.Registry) {
+	opt := ad.opt
+	reg.SetFunc("indexsel_whatif_calls_total",
+		"Distinct what-if cost evaluations (the paper's optimizer-call count).",
+		telemetry.KindCounter, func() float64 { return float64(opt.Stats().Calls) })
+	reg.SetFunc("indexsel_whatif_cache_hits_total",
+		"What-if requests served from the optimizer's caches.",
+		telemetry.KindCounter, func() float64 { return float64(opt.Stats().CacheHits) })
+	reg.SetFunc("indexsel_whatif_distinct_indexes",
+		"Distinct indexes sized by the advisor so far.",
+		telemetry.KindGauge, func() float64 { return float64(opt.Stats().DistinctIndexes) })
+	reg.SetFunc("indexsel_whatif_index_cache_entries",
+		"Total (query, index) cost-cache entries across shards.",
+		telemetry.KindGauge, func() float64 { return float64(opt.Stats().IndexCacheEntries) })
 }
 
 // Budget returns the advisor's effective memory budget in bytes.
@@ -169,8 +218,18 @@ type Recommendation struct {
 	// Elapsed is the selection's solve time (excluding what-if calls made
 	// through the shared cache).
 	Elapsed time.Duration
-	// Steps is Algorithm 1's construction trace (StrategyExtend only).
+	// Steps is Algorithm 1's construction trace (StrategyExtend only). Each
+	// step carries its candidate-evaluation accounting (Candidates,
+	// Evaluated, CacheServed).
 	Steps []ConstructionStep
+	// Workers is the candidate-evaluation parallelism the run resolved to
+	// (StrategyExtend only).
+	Workers int
+	// Evaluated and CacheServed total, over the whole run (including the
+	// final enumeration round that found no viable step), how many candidate
+	// gains were (re)computed versus served from the incremental gain cache
+	// (StrategyExtend only).
+	Evaluated, CacheServed int
 	// DNF reports a CoPhy solve aborted by the time limit.
 	DNF bool
 	// Gap is CoPhy's final relative optimality gap.
@@ -201,13 +260,56 @@ func (r *Recommendation) Frontier() []FrontierPoint {
 	return pts
 }
 
-// Select runs the strategy and returns its recommendation.
+// Select runs the strategy and returns its recommendation. With telemetry
+// attached (WithTelemetry), the run records an advisor.select root span with
+// strategy/budget/result attributes, child spans per Algorithm-1 step or
+// CoPhy phase, and updates the selection counters and duration histogram in
+// the metrics registry.
 func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 	budget := ad.Budget()
 	if budget <= 0 {
 		return nil, fmt.Errorf("indexsel: budget must be positive (got %d)", budget)
 	}
 	start := time.Now()
+	root := ad.tel.Trace().Start("advisor.select")
+	root.SetStr("strategy", s.String())
+	root.SetInt("budget_bytes", budget)
+
+	rec, err := ad.runStrategy(s, budget, root)
+	elapsed := time.Since(start)
+	mSelects.Inc()
+	mSelectDur.Observe(elapsed.Seconds())
+	if err != nil {
+		mSelectErrs.Inc()
+		root.SetStr("error", err.Error())
+		root.End()
+		return nil, err
+	}
+	rec.Elapsed = elapsed
+
+	ws := ad.opt.Stats()
+	root.SetFloat("cost", rec.Cost)
+	root.SetFloat("base_cost", rec.BaseCost)
+	root.SetInt("memory_bytes", rec.Memory)
+	root.SetInt("indexes", int64(len(rec.Indexes)))
+	root.SetInt("steps", int64(len(rec.Steps)))
+	root.SetInt("whatif_calls", ws.Calls)
+	root.SetInt("whatif_cache_hits", ws.CacheHits)
+	root.End()
+	if lg := ad.tel.Log(); lg.Enabled(context.Background(), slog.LevelInfo) {
+		lg.Info("selection complete",
+			"strategy", s.String(), "budget_bytes", budget,
+			"indexes", len(rec.Indexes), "cost", rec.Cost,
+			"improvement", rec.Improvement(), "memory_bytes", rec.Memory,
+			"elapsed", elapsed, "whatif_calls", ws.Calls,
+			"whatif_cache_hits", ws.CacheHits)
+	}
+	return rec, nil
+}
+
+// runStrategy dispatches to the strategy implementation, threading the root
+// telemetry span into it.
+func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (*Recommendation, error) {
 	rec := &Recommendation{Strategy: s, Budget: budget}
 
 	switch s {
@@ -225,6 +327,7 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 			// must evaluate whole selections (Remark 2) to stay consistent.
 			opts.MultiIndex = true
 		}
+		opts.Span = root
 		res, err := core.Select(ad.w, ad.opt, opts)
 		if err != nil {
 			return nil, err
@@ -235,6 +338,9 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 		rec.BaseCost = res.InitialCost
 		rec.Memory = res.Memory
 		rec.Steps = res.Steps
+		rec.Workers = res.Workers
+		rec.Evaluated = res.Evaluated
+		rec.CacheServed = res.CacheServed
 
 	case StrategyCoPhy:
 		cands, err := ad.candidateSet()
@@ -246,6 +352,7 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 			Gap:                ad.gap,
 			TimeLimit:          ad.timeLimit,
 			DominanceReduction: ad.dominance,
+			Span:               root,
 		})
 		if err != nil {
 			return nil, err
@@ -271,6 +378,7 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 		res, err := heuristics.Select(ad.w, ad.opt, cands, rule, heuristics.Options{
 			Budget:  budget,
 			Skyline: ad.skyline && s == StrategyH4,
+			Span:    root,
 		})
 		if err != nil {
 			return nil, err
@@ -284,7 +392,6 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 	default:
 		return nil, fmt.Errorf("indexsel: unknown strategy %d", int(s))
 	}
-	rec.Elapsed = time.Since(start)
 	return rec, nil
 }
 

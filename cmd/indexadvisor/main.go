@@ -8,18 +8,29 @@
 //	indexadvisor -workload w.json -strategy cophy -candidates 1000 -gap 0.05
 //	indexadvisor -workload w.json -strategy h5 -budget-bytes 100000000
 //	indexadvisor -workload w.json -parallelism 8 -cpuprofile extend.pprof
+//	indexadvisor -workload w.json -metrics-addr 127.0.0.1:9177 -trace-out run.jsonl -json
 //
 // The default strategy is the paper's recursive Extend algorithm (H6), which
 // evaluates candidate steps on all cores (-parallelism to override) with
 // identical results at any setting; -cpuprofile records a pprof profile of
 // the selection for performance work.
+//
+// Observability: -metrics-addr serves Prometheus text exposition at /metrics
+// (plus expvar and pprof under /debug/) while the advisor runs; -trace-out
+// journals every selection span as a JSON line; -log-level enables structured
+// logs on stderr; -json replaces the human-readable report with a full
+// machine-readable recommendation; -memprofile writes a heap profile at exit.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -52,6 +63,12 @@ func main() {
 		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
 		parallelism = flag.Int("parallelism", 0, "extend worker goroutines (0 = all cores, 1 = serial; identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		jsonOut     = flag.Bool("json", false, "emit the full recommendation as JSON on stdout")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		linger      = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the report (for scrapers)")
+		traceOut    = flag.String("trace-out", "", "append every selection span as a JSON line to this file")
+		logLevel    = flag.String("log-level", "", "enable structured logs on stderr: debug | info | warn | error")
 	)
 	flag.Parse()
 	if (*path == "") == (*sqlPath == "") {
@@ -92,11 +109,50 @@ func main() {
 		log.Fatalf("unknown strategy %q (want extend, cophy, h1..h5)", *strategy)
 	}
 
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+		}
+		indexsel.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	}
+
+	tel := &indexsel.Telemetry{}
+	var journalFlush func()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		tel.Tracer = indexsel.NewTracer(4096, bw)
+		journalFlush = func() {
+			if err := tel.Tracer.Err(); err != nil {
+				log.Printf("trace journal: %v", err)
+			}
+			if err := bw.Flush(); err != nil {
+				log.Printf("trace journal: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("trace journal: %v", err)
+			}
+		}
+	}
+
+	if *metricsAddr != "" {
+		_, bound, err := indexsel.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving metrics on http://%s/metrics", bound)
+	}
+
 	opts := []indexsel.Option{
 		indexsel.WithGap(*gap),
 		indexsel.WithTimeLimit(*timeLimit),
 		indexsel.WithDominanceReduction(),
 		indexsel.WithParallelism(*parallelism),
+		indexsel.WithTelemetry(tel),
 	}
 	if *budgetBytes > 0 {
 		opts = append(opts, indexsel.WithBudgetBytes(*budgetBytes))
@@ -130,7 +186,39 @@ func main() {
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile() // flush before printing; deferred stop is a no-op
 	}
+	// Flush the span journal before anything that can delay or prevent a
+	// clean exit (the linger sleep, or a scraper killing the process).
+	if journalFlush != nil {
+		journalFlush()
+	}
 
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, w, adv, rec); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		report(w, rec, *showSteps)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+
+	if *metricsAddr != "" && *linger > 0 {
+		log.Printf("lingering %v for metric scrapes", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+func report(w *indexsel.Workload, rec *indexsel.Recommendation, showSteps bool) {
 	fmt.Printf("strategy:    %v\n", rec.Strategy)
 	fmt.Printf("budget:      %d bytes\n", rec.Budget)
 	fmt.Printf("memory used: %d bytes (%.1f%%)\n", rec.Memory, 100*float64(rec.Memory)/float64(rec.Budget))
@@ -141,14 +229,15 @@ func main() {
 	}
 	fmt.Println()
 
-	if *showSteps && len(rec.Steps) > 0 {
+	if showSteps && len(rec.Steps) > 0 {
 		fmt.Println("\nconstruction trace:")
 		for i, s := range rec.Steps {
 			from := ""
 			if s.Replaced != nil {
 				from = fmt.Sprintf(" (extends %s)", describe(w, *s.Replaced))
 			}
-			fmt.Printf("  %3d. %-7s %s%s  ratio=%.4g\n", i+1, s.Kind, describe(w, s.Index), from, s.Ratio)
+			fmt.Printf("  %3d. %-7s %s%s  ratio=%.4g  evaluated=%d/%d\n",
+				i+1, s.Kind, describe(w, s.Index), from, s.Ratio, s.Evaluated, s.Candidates)
 		}
 	}
 
@@ -156,6 +245,110 @@ func main() {
 	for _, ix := range rec.Indexes {
 		fmt.Printf("  CREATE INDEX ON %s;\n", describe(w, ix))
 	}
+}
+
+// jsonReport is the machine-readable recommendation emitted by -json. Field
+// names are stable interface; additions are backwards compatible.
+type jsonReport struct {
+	Strategy    string      `json:"strategy"`
+	BudgetBytes int64       `json:"budget_bytes"`
+	MemoryBytes int64       `json:"memory_bytes"`
+	BaseCost    float64     `json:"base_cost"`
+	Cost        float64     `json:"cost"`
+	Improvement float64     `json:"improvement"`
+	ElapsedUS   int64       `json:"elapsed_us"`
+	DNF         bool        `json:"dnf,omitempty"`
+	Gap         float64     `json:"gap,omitempty"`
+	Workers     int         `json:"workers,omitempty"`
+	Evaluated   int         `json:"evaluated,omitempty"`
+	CacheServed int         `json:"cache_served,omitempty"`
+	Indexes     []jsonIndex `json:"indexes"`
+	Steps       []jsonStep  `json:"steps,omitempty"`
+	WhatIf      jsonWhatIf  `json:"whatif"`
+}
+
+type jsonIndex struct {
+	Table string   `json:"table"`
+	Attrs []string `json:"attrs"`
+	DDL   string   `json:"ddl"`
+}
+
+type jsonStep struct {
+	Kind        string  `json:"kind"`
+	Index       string  `json:"index"`
+	Extends     string  `json:"extends,omitempty"`
+	Ratio       float64 `json:"ratio"`
+	CostAfter   float64 `json:"cost_after"`
+	MemAfter    int64   `json:"mem_after_bytes"`
+	Candidates  int     `json:"candidates"`
+	Evaluated   int     `json:"evaluated"`
+	CacheServed int     `json:"cache_served"`
+}
+
+type jsonWhatIf struct {
+	Calls           int64 `json:"calls"`
+	CacheHits       int64 `json:"cache_hits"`
+	DistinctIndexes int   `json:"distinct_indexes"`
+	CacheEntries    int   `json:"index_cache_entries"`
+}
+
+func writeJSON(out *os.File, w *indexsel.Workload, adv *indexsel.Advisor, rec *indexsel.Recommendation) error {
+	ws := adv.WhatIfStats()
+	rep := jsonReport{
+		Strategy:    rec.Strategy.String(),
+		BudgetBytes: rec.Budget,
+		MemoryBytes: rec.Memory,
+		BaseCost:    rec.BaseCost,
+		Cost:        rec.Cost,
+		Improvement: rec.Improvement(),
+		ElapsedUS:   rec.Elapsed.Microseconds(),
+		DNF:         rec.DNF,
+		Gap:         rec.Gap,
+		Workers:     rec.Workers,
+		Evaluated:   rec.Evaluated,
+		CacheServed: rec.CacheServed,
+		Indexes:     make([]jsonIndex, 0, len(rec.Indexes)),
+		WhatIf: jsonWhatIf{
+			Calls:           ws.Calls,
+			CacheHits:       ws.CacheHits,
+			DistinctIndexes: ws.DistinctIndexes,
+			CacheEntries:    ws.IndexCacheEntries,
+		},
+	}
+	for _, ix := range rec.Indexes {
+		attrs := make([]string, 0, len(ix.Attrs))
+		for _, a := range ix.Attrs {
+			name := w.Attr(a).Name
+			if dot := strings.IndexByte(name, '.'); dot >= 0 {
+				name = name[dot+1:]
+			}
+			attrs = append(attrs, name)
+		}
+		rep.Indexes = append(rep.Indexes, jsonIndex{
+			Table: w.Tables[ix.Table].Name,
+			Attrs: attrs,
+			DDL:   fmt.Sprintf("CREATE INDEX ON %s;", describe(w, ix)),
+		})
+	}
+	for _, s := range rec.Steps {
+		js := jsonStep{
+			Kind:        s.Kind.String(),
+			Index:       describe(w, s.Index),
+			Ratio:       s.Ratio,
+			CostAfter:   s.CostAfter,
+			MemAfter:    s.MemAfter,
+			Candidates:  s.Candidates,
+			Evaluated:   s.Evaluated,
+			CacheServed: s.CacheServed,
+		}
+		if s.Replaced != nil {
+			js.Extends = describe(w, *s.Replaced)
+		}
+		rep.Steps = append(rep.Steps, js)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func describe(w *indexsel.Workload, ix indexsel.Index) string {

@@ -26,6 +26,9 @@ package indexsel
 
 import (
 	"io"
+	"log/slog"
+	"net"
+	"net/http"
 
 	"repro/internal/candidates"
 	"repro/internal/compress"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/inum"
 	"repro/internal/sqllog"
+	"repro/internal/telemetry"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
@@ -226,3 +230,46 @@ type FrontierPoint = core.FrontierPoint
 
 // WhatIfStats reports what-if optimizer call accounting.
 type WhatIfStats = whatif.Stats
+
+// Telemetry re-exports: metrics registry, span tracer and structured-logging
+// hook of package internal/telemetry. Attach a bundle to an advisor with
+// WithTelemetry; serve the process-wide registry with ServeMetrics.
+type (
+	// Telemetry bundles the tracer, metrics registry and logger handed to an
+	// advisor. Zero value / nil fields fall back to the process-wide defaults
+	// (default registry, discard logger, no tracing).
+	Telemetry = telemetry.Telemetry
+	// Tracer records selection-lifecycle spans into a ring buffer and an
+	// optional JSONL journal writer.
+	Tracer = telemetry.Tracer
+	// Span is one traced operation; nil spans are safe no-ops.
+	Span = telemetry.Span
+	// MetricsRegistry holds named counters, gauges and histograms and writes
+	// Prometheus text exposition; see DefaultRegistry.
+	MetricsRegistry = telemetry.Registry
+	// TraceRecord is one completed span as stored in the ring and journal.
+	TraceRecord = telemetry.Record
+)
+
+// NewTracer builds a span tracer keeping the last ringCap completed spans in
+// memory and, when w is non-nil, appending each as a JSON line to w.
+func NewTracer(ringCap int, w io.Writer) *Tracer { return telemetry.NewTracer(ringCap, w) }
+
+// DefaultRegistry returns the process-wide metrics registry every package in
+// the advisor stack reports into. It is mirrored under the expvar key
+// "indexsel" and served by ServeMetrics.
+func DefaultRegistry() *MetricsRegistry { return telemetry.Default() }
+
+// ServeMetrics starts an HTTP server on addr exposing Prometheus text
+// exposition at /metrics plus expvar (/debug/vars) and pprof (/debug/pprof/)
+// from the default registry. It returns the server (for Shutdown/Close) and
+// the bound address, useful with ":0".
+func ServeMetrics(addr string) (*http.Server, net.Addr, error) {
+	return telemetry.Serve(addr, telemetry.Default())
+}
+
+// SetLogger installs l as the advisor stack's structured logger; nil restores
+// the default discard logger. Packages log selection, solve and index-build
+// events at Debug/Info level; when no logger is set the call sites pay only a
+// disabled-level check.
+func SetLogger(l *slog.Logger) { telemetry.SetLogger(l) }

@@ -18,13 +18,28 @@
 package cophy
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"time"
 
 	"repro/internal/lp"
+	"repro/internal/telemetry"
 	"repro/internal/whatif"
 	"repro/internal/workload"
+)
+
+// Solve-level telemetry (default registry; one update per solve phase).
+var (
+	mSolves = telemetry.Default().Counter("indexsel_cophy_solves_total",
+		"Completed CoPhy solves.")
+	mSolveDur = telemetry.Default().Histogram("indexsel_cophy_solve_duration_seconds",
+		"Wall time of the CoPhy solve phase (excluding model build).", nil)
+	mNodes = telemetry.Default().Counter("indexsel_cophy_nodes_total",
+		"Branch-and-bound nodes explored across solves.")
+	mDNF = telemetry.Default().Counter("indexsel_cophy_dnf_total",
+		"CoPhy solves aborted by the time limit (DNF).")
 )
 
 // Options configures a CoPhy solve.
@@ -51,6 +66,9 @@ type Options struct {
 	// MaxDominanceSize bounds the candidate count for the (quadratic)
 	// dominance filter; zero means 4000.
 	MaxDominanceSize int
+	// Span, if non-nil, is the parent telemetry span; the solve records one
+	// child span per phase (cophy.build, cophy.reduce, cophy.solve) under it.
+	Span *telemetry.Span
 }
 
 // Stats reports the solve's size and effort.
@@ -92,12 +110,18 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 	if opts.ForceLP && opts.ForceCombinatorial {
 		return nil, fmt.Errorf("cophy: ForceLP and ForceCombinatorial are mutually exclusive")
 	}
+	bsp := opts.Span.Child("cophy.build")
 	ins := buildInstance(w, opt, cands)
 	stats := Stats{
 		Vars:        ins.paperVars,
 		Constraints: ins.paperConstraints,
 		WhatIfCalls: ins.whatIfCalls,
 	}
+	bsp.SetInt("candidates", int64(len(cands)))
+	bsp.SetInt("vars", int64(stats.Vars))
+	bsp.SetInt("constraints", int64(stats.Constraints))
+	bsp.SetInt("whatif_calls", stats.WhatIfCalls)
+	bsp.End()
 
 	if opts.DominanceReduction {
 		limit := opts.MaxDominanceSize
@@ -105,7 +129,12 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 			limit = 4000
 		}
 		if len(ins.cands) <= limit {
+			rsp := opts.Span.Child("cophy.reduce")
+			before := len(ins.cands)
 			ins.reduceDominated()
+			rsp.SetInt("candidates_before", int64(before))
+			rsp.SetInt("candidates_after", int64(len(ins.cands)))
+			rsp.End()
 		}
 	}
 
@@ -115,6 +144,7 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 	}
 	useLP := opts.ForceLP || (!opts.ForceCombinatorial && ins.lpVars() <= maxLP)
 
+	ssp := opts.Span.Child("cophy.solve")
 	start := time.Now()
 	var deadline time.Time
 	if opts.TimeLimit > 0 {
@@ -142,6 +172,7 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 		chosen, cost, nodes, gap, dnf = ins.solveCombinatorial(opts.Budget, opts.Gap, deadline)
 	}
 	if err != nil {
+		ssp.Discard()
 		return nil, err
 	}
 	stats.Elapsed = time.Since(start)
@@ -149,6 +180,24 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 	stats.Gap = gap
 	stats.DNF = dnf
 	stats.UsedLP = useLP
+
+	ssp.SetBool("used_lp", useLP)
+	ssp.SetInt("nodes", int64(nodes))
+	ssp.SetFloat("gap", gap)
+	ssp.SetBool("dnf", dnf)
+	ssp.SetInt("selected", int64(len(chosen)))
+	ssp.End()
+	mSolves.Inc()
+	mSolveDur.Observe(stats.Elapsed.Seconds())
+	mNodes.Add(int64(nodes))
+	if dnf {
+		mDNF.Inc()
+	}
+	if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
+		lg.Debug("cophy solve complete",
+			"candidates", len(cands), "used_lp", useLP, "nodes", nodes,
+			"gap", gap, "dnf", dnf, "elapsed", stats.Elapsed)
+	}
 
 	sel := workload.NewSelection()
 	var mem int64

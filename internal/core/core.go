@@ -18,11 +18,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
@@ -80,6 +84,10 @@ type Options struct {
 	// pre-optimization behavior). Results are identical either way; the knob
 	// exists for benchmarking and equivalence testing.
 	DisableIncremental bool
+	// Span, if non-nil, is the parent telemetry span (normally the advisor's
+	// per-Select root span); the run records one child span per construction
+	// step under it. Nil disables tracing with zero overhead.
+	Span *telemetry.Span
 }
 
 // StepKind labels a construction step.
@@ -131,6 +139,11 @@ type Step struct {
 	// RunnerUp describes the best rejected alternative when
 	// Options.TrackSecondBest is set.
 	RunnerUp *Alternative
+	// Candidates is the number of candidate steps enumerated for this step;
+	// Evaluated of them had their gain (re)computed and CacheServed came from
+	// the incremental gain cache. Drop steps (Remark 1.2) enumerate nothing
+	// and report zeros.
+	Candidates, Evaluated, CacheServed int
 }
 
 // Alternative is a rejected candidate step (Remark 1.3).
@@ -152,6 +165,13 @@ type Result struct {
 	Cost float64
 	// Memory is the final P(I*).
 	Memory int64
+	// Workers is the resolved candidate-evaluation parallelism the run used.
+	Workers int
+	// Evaluated and CacheServed total the candidate accounting over the whole
+	// run (see Step). They can exceed the per-step sums: the final enumeration
+	// round that finds no viable step still evaluates candidates but records
+	// no step.
+	Evaluated, CacheServed int
 }
 
 // Frontier returns the (memory, cost) point after every step, prefixed with
@@ -248,6 +268,11 @@ type selector struct {
 
 	singleAllowed map[int]bool // non-nil when TopNSingle restricts step 3a
 	pairs         [][2]int     // pair universe for PairSteps
+
+	// lastCandidates/lastEvaluated are collect()'s enumeration accounting for
+	// the step being decided; apply() copies them into the recorded Step.
+	lastCandidates, lastEvaluated int
+	totalEvaluated, totalCached   int
 
 	steps []Step
 }
@@ -569,6 +594,9 @@ func (s *selector) collect() (best, second candidate, haveSecond, ok bool) {
 			pending = append(pending, i)
 		}
 	}
+	s.lastCandidates, s.lastEvaluated = len(tasks), len(pending)
+	s.totalEvaluated += len(pending)
+	s.totalCached += len(tasks) - len(pending)
 
 	s.evalPending(tasks, results, pending)
 
@@ -696,14 +724,17 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 		s.recon = s.opts.Reconfig(s.sel)
 	}
 	step := Step{
-		Kind:       c.kind,
-		Index:      c.index,
-		Replaced:   c.replaced,
-		CostBefore: before,
-		CostAfter:  s.total(),
-		MemBefore:  memBefore,
-		MemAfter:   s.mem,
-		Ratio:      c.ratio,
+		Kind:        c.kind,
+		Index:       c.index,
+		Replaced:    c.replaced,
+		CostBefore:  before,
+		CostAfter:   s.total(),
+		MemBefore:   memBefore,
+		MemAfter:    s.mem,
+		Ratio:       c.ratio,
+		Candidates:  s.lastCandidates,
+		Evaluated:   s.lastEvaluated,
+		CacheServed: s.lastCandidates - s.lastEvaluated,
 	}
 	if s.opts.TrackSecondBest && haveSecond {
 		step.RunnerUp = &Alternative{Kind: second.kind, Index: second.index, Ratio: second.ratio}
@@ -855,22 +886,72 @@ func (s *selector) run() (*Result, error) {
 		if s.opts.MaxSteps > 0 && len(s.steps) >= s.opts.MaxSteps {
 			break
 		}
+		sp := s.opts.Span.Child("extend.step")
+		stepStart := time.Now()
 		best, second, haveSecond, ok := s.collect()
 		if !ok {
+			sp.Discard()
 			break
 		}
 		s.apply(best, second, haveSecond)
+		s.finishStep(sp, stepStart)
 		if s.opts.DropUnused {
 			s.dropUnused()
 		}
 	}
-	return &Result{
+	res := &Result{
 		Steps:       s.steps,
 		Selection:   s.sel,
 		InitialCost: initial,
 		Cost:        s.total(),
 		Memory:      s.mem,
-	}, nil
+		Workers:     s.workers,
+		Evaluated:   s.totalEvaluated,
+		CacheServed: s.totalCached,
+	}
+	s.logRun(res)
+	return res, nil
+}
+
+// finishStep records the just-applied step's telemetry: its child span and
+// the package metrics. One call per construction step — never per candidate.
+func (s *selector) finishStep(sp *telemetry.Span, start time.Time) {
+	st := &s.steps[len(s.steps)-1]
+	mSteps.Inc()
+	mStepDur.Observe(time.Since(start).Seconds())
+	mEvaluated.Add(int64(st.Evaluated))
+	mCacheServed.Add(int64(st.CacheServed))
+	if sp == nil {
+		return
+	}
+	sp.SetStr("kind", st.Kind.String())
+	sp.SetStr("index", st.Index.Key())
+	sp.SetFloat("gain", st.CostBefore-st.CostAfter)
+	sp.SetFloat("ratio", st.Ratio)
+	sp.SetFloat("cost_after", st.CostAfter)
+	sp.SetInt("mem_after_bytes", st.MemAfter)
+	sp.SetInt("candidates", int64(st.Candidates))
+	sp.SetInt("evaluated", int64(st.Evaluated))
+	sp.SetInt("cache_served", int64(st.CacheServed))
+	sp.SetInt("workers", int64(s.workers))
+	sp.End()
+}
+
+// logRun emits the run-level structured log line. The Enabled guard keeps
+// the disabled default free of argument boxing.
+func (s *selector) logRun(res *Result) {
+	mRuns.Inc()
+	if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
+		lg.Debug("extend run complete",
+			"steps", len(res.Steps),
+			"cost", res.Cost,
+			"initial_cost", res.InitialCost,
+			"memory_bytes", res.Memory,
+			"workers", res.Workers,
+			"candidates_evaluated", res.Evaluated,
+			"candidates_cache_served", res.CacheServed,
+		)
+	}
 }
 
 // runMultiIndex executes the construction loop evaluating each candidate
@@ -878,6 +959,7 @@ func (s *selector) run() (*Result, error) {
 // the context earlier calls were made under, affected queries' cached costs
 // are refreshed rather than reused. Intended for small workloads.
 func (s *selector) runMultiIndex() (*Result, error) {
+	s.workers = 1 // Remark 2's stale-refresh semantics are inherently serial
 	queryCost := func(sel workload.Selection, q workload.Query) float64 {
 		return s.opt.QueryCost(q, sel)
 	}
@@ -909,6 +991,8 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		if s.opts.MaxSteps > 0 && len(steps) >= s.opts.MaxSteps {
 			break
 		}
+		sp := s.opts.Span.Child("extend.step")
+		stepStart := time.Now()
 		type cand struct {
 			kind     StepKind
 			index    workload.Index
@@ -949,12 +1033,14 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		var best *cand
 		var bestCost float64
 		var bestMem int64
+		evaluated := 0
 		for i := range cands {
 			c := &cands[i]
 			mem := selSize(c.sel)
 			if mem > s.opts.Budget || mem <= curMem {
 				continue
 			}
+			evaluated++
 			cost := total(c.sel)
 			gain := curCost - cost
 			if gain <= 0 {
@@ -966,6 +1052,7 @@ func (s *selector) runMultiIndex() (*Result, error) {
 			}
 		}
 		if best == nil {
+			sp.Discard()
 			break
 		}
 		steps = append(steps, Step{
@@ -977,14 +1064,23 @@ func (s *selector) runMultiIndex() (*Result, error) {
 			MemBefore:  curMem,
 			MemAfter:   bestMem,
 			Ratio:      bestRatio,
+			Candidates: len(cands),
+			Evaluated:  evaluated,
 		})
 		cur, curCost, curMem = best.sel, bestCost, bestMem
+		s.steps = steps
+		s.totalEvaluated += evaluated
+		s.finishStep(sp, stepStart)
 	}
-	return &Result{
+	res := &Result{
 		Steps:       steps,
 		Selection:   cur,
 		InitialCost: initial,
 		Cost:        curCost,
 		Memory:      curMem,
-	}, nil
+		Workers:     1,
+		Evaluated:   s.totalEvaluated,
+	}
+	s.logRun(res)
+	return res, nil
 }

@@ -1,11 +1,26 @@
 package engine
 
 import (
+	"context"
+	"log/slog"
 	"math"
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/workload"
+)
+
+// Index-build telemetry (default registry). Builds dominate end-to-end
+// advisor time, so they are worth journaling individually; execution paths
+// stay uninstrumented (they run millions of times).
+var (
+	mBuilds = telemetry.Default().Counter("indexsel_engine_index_builds_total",
+		"Secondary indexes physically built by the measured source.")
+	mBuildDur = telemetry.Default().Histogram("indexsel_engine_index_build_duration_seconds",
+		"Wall time per secondary-index build.", nil)
+	mDedupWaits = telemetry.Default().Counter("indexsel_engine_build_dedup_waits_total",
+		"Index requests that waited on another goroutine's in-flight build instead of duplicating it.")
 )
 
 // MeasuredSource adapts the engine to the whatif.Source interface: query
@@ -69,6 +84,7 @@ func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 		}
 		if inflight, ok := ms.building[key]; ok {
 			ms.mu.Unlock()
+			mDedupWaits.Inc()
 			<-inflight
 			continue
 		}
@@ -76,7 +92,15 @@ func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 		ms.building[key] = done
 		ms.mu.Unlock()
 
+		start := time.Now()
 		built := ms.db.BuildIndex(k)
+		elapsed := time.Since(start)
+		mBuilds.Inc()
+		mBuildDur.Observe(elapsed.Seconds())
+		if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
+			lg.Debug("engine index built",
+				"index", key, "bytes", built.SizeBytes(), "elapsed", elapsed)
+		}
 		ms.mu.Lock()
 		ms.indexes[key] = built
 		delete(ms.building, key)

@@ -18,11 +18,23 @@
 package heuristics
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/whatif"
 	"repro/internal/workload"
+)
+
+// Selection-level telemetry (default registry; one update per run).
+var (
+	mRuns = telemetry.Default().Counter("indexsel_heuristic_runs_total",
+		"Completed H1-H5 heuristic selections.")
+	mRunDur = telemetry.Default().Histogram("indexsel_heuristic_run_duration_seconds",
+		"Wall time per heuristic selection (score + greedy).", nil)
 )
 
 // Rule identifies a Definition-1 selection heuristic.
@@ -68,6 +80,9 @@ type Options struct {
 	// survives if, for at least one query, no other candidate is at least as
 	// good in cost and size and strictly better in one.
 	Skyline bool
+	// Span, if non-nil, is the parent telemetry span; the run records its
+	// phases (heuristics.skyline when enabled, heuristics.rank) under it.
+	Span *telemetry.Span
 }
 
 // Result is a heuristic's selection with its evaluation.
@@ -89,10 +104,16 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 	if rule < H1 || rule > H5 {
 		return nil, fmt.Errorf("heuristics: unknown rule %d", int(rule))
 	}
+	start := time.Now()
 	pool := cands
 	if opts.Skyline {
+		ssp := opts.Span.Child("heuristics.skyline")
 		pool = SkylineFilter(w, opt, pool)
+		ssp.SetInt("candidates_before", int64(len(cands)))
+		ssp.SetInt("candidates_after", int64(len(pool)))
+		ssp.End()
 	}
+	rsp := opts.Span.Child("heuristics.rank")
 	scores := score(w, opt, pool, rule)
 	order := make([]int, len(pool))
 	for i := range order {
@@ -125,12 +146,25 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		sel.Add(k)
 		mem += sz
 	}
-	return &Result{
+	res := &Result{
 		Selection:  sel,
 		Cost:       TotalCost(w, opt, sel),
 		Memory:     mem,
 		Considered: len(pool),
-	}, nil
+	}
+	rsp.SetStr("rule", rule.String())
+	rsp.SetInt("considered", int64(res.Considered))
+	rsp.SetInt("selected", int64(len(sel)))
+	rsp.SetInt("memory_bytes", mem)
+	rsp.End()
+	mRuns.Inc()
+	mRunDur.Observe(time.Since(start).Seconds())
+	if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
+		lg.Debug("heuristic selection complete",
+			"rule", rule.String(), "considered", res.Considered,
+			"selected", len(sel), "cost", res.Cost, "memory_bytes", mem)
+	}
+	return res, nil
 }
 
 // score computes a "higher is better" score per candidate for the rule.

@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+	"sync/atomic"
+)
+
+// The package logger is the structured-logging hook threaded through the
+// advisor stack (core, whatif, engine, cophy, heuristics): packages log via
+// L(), and embedders redirect everything with SetLogger. The default
+// discards at the Enabled check — no formatting, no I/O — so instrumented
+// code may call L().Debug(...) freely outside inner loops (argument boxing
+// still costs an allocation; hot paths guard with L().Enabled first or log
+// per run, not per candidate).
+var pkgLogger atomic.Pointer[slog.Logger]
+
+func init() { pkgLogger.Store(slog.New(discardHandler{})) }
+
+// L returns the process-wide structured logger.
+func L() *slog.Logger { return pkgLogger.Load() }
+
+// SetLogger replaces the process-wide logger; nil restores the discarding
+// default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(discardHandler{})
+	}
+	pkgLogger.Store(l)
+}
+
+// discardHandler reports every level disabled. (log/slog gained an identical
+// DiscardHandler in Go 1.24; this keeps the module at its declared go 1.22.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

@@ -1,0 +1,289 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind labels a metric for exposition (# TYPE lines).
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// metric is anything the registry can expose.
+type metric interface {
+	kind() Kind
+	// writeSamples emits the metric's sample lines (no HELP/TYPE header).
+	writeSamples(w io.Writer, name string)
+	// value returns the snapshot used for the expvar mirror.
+	value() any
+}
+
+// Registry holds named metrics and serves the Prometheus text exposition.
+// All methods are safe for concurrent use. Metric constructors are
+// idempotent: asking for an existing name returns the existing metric
+// (it must be of the same kind, otherwise the constructor panics —
+// a programming error, like expvar's duplicate Publish).
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]registered
+}
+
+type registered struct {
+	help string
+	m    metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]registered)}
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry. Package-level instrumentation
+// (core step histograms, engine build counters) lives here, and the
+// -metrics-addr endpoint serves it.
+func Default() *Registry { return std }
+
+func init() {
+	// Mirror the default registry into expvar so /debug/vars (and anything
+	// else reading expvar) sees the same numbers as /metrics.
+	expvar.Publish("indexsel", expvar.Func(func() any { return std.Snapshot() }))
+}
+
+func (r *Registry) lookup(name string, k Kind) (metric, bool) {
+	r.mu.RLock()
+	got, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if got.m.kind() != k {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, k, got.m.kind()))
+	}
+	return got.m, true
+}
+
+func (r *Registry) register(name, help string, m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.metrics[name]; ok {
+		if got.m.kind() != m.kind() {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, m.kind(), got.m.kind()))
+		}
+		return got.m
+	}
+	r.metrics[name] = registered{help: help, m: m}
+	return m
+}
+
+// Counter is a monotonically increasing metric (atomic int64).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus counter semantics).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) kind() Kind { return KindCounter }
+func (c *Counter) writeSamples(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
+}
+func (c *Counter) value() any { return c.v.Load() }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if m, ok := r.lookup(name, KindCounter); ok {
+		return m.(*Counter)
+	}
+	return r.register(name, help, &Counter{}).(*Counter)
+}
+
+// Gauge is a floating-point level (atomic).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) kind() Kind { return KindGauge }
+func (g *Gauge) writeSamples(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+}
+func (g *Gauge) value() any { return g.Value() }
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if m, ok := r.lookup(name, KindGauge); ok {
+		return m.(*Gauge)
+	}
+	return r.register(name, help, &Gauge{}).(*Gauge)
+}
+
+// funcMetric is a scrape-time reader: its value is computed by a callback at
+// exposition time, so instrumented code pays nothing between scrapes. Used
+// to surface counters that already exist as atomics elsewhere (e.g. the
+// what-if optimizer's call/hit counters).
+type funcMetric struct {
+	k  Kind
+	fn func() float64
+}
+
+func (f *funcMetric) kind() Kind { return f.k }
+func (f *funcMetric) writeSamples(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(f.fn()))
+}
+func (f *funcMetric) value() any { return f.fn() }
+
+// SetFunc registers (or replaces) a scrape-time reader metric. Replacement
+// is deliberate: successive advisors rebinding the same metric name to their
+// own optimizer is the expected pattern — the exposition reflects the most
+// recently bound instance.
+func (r *Registry) SetFunc(name, help string, k Kind, fn func() float64) {
+	if k == KindHistogram {
+		panic("telemetry: SetFunc does not support histograms")
+	}
+	r.mu.Lock()
+	r.metrics[name] = registered{help: help, m: &funcMetric{k: k, fn: fn}}
+	r.mu.Unlock()
+}
+
+// DefBuckets are the default histogram buckets for durations in seconds,
+// spanning microsecond steps to minute-scale solves.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters.
+// Bucket boundaries are upper bounds (le); an implicit +Inf bucket catches
+// the rest.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) kind() Kind { return KindHistogram }
+func (h *Histogram) writeSamples(w io.Writer, name string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+func (h *Histogram) value() any {
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return map[string]any{
+		"bounds": h.bounds, "counts": counts,
+		"count": h.count.Load(), "sum": h.Sum(),
+	}
+}
+
+// Histogram returns (creating if needed) the named histogram. Buckets must
+// be sorted ascending; nil means DefBuckets. The bucket layout of an
+// existing histogram is not changed.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if m, ok := r.lookup(name, KindHistogram); ok {
+		return m.(*Histogram)
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{bounds: buckets, buckets: make([]atomic.Int64, len(buckets)+1)}
+	return r.register(name, help, h).(*Histogram)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), metrics sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]registered, len(names))
+	for i, name := range names {
+		entries[i] = r.metrics[name]
+	}
+	r.mu.RUnlock()
+
+	for i, name := range names {
+		e := entries[i]
+		if e.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, e.help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, e.m.kind())
+		e.m.writeSamples(w, name)
+	}
+}
+
+// Snapshot returns the registry as a plain name -> value map (histograms
+// expand to a bounds/counts/sum/count object). This is what the expvar
+// mirror publishes.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]any, len(r.metrics))
+	for name, e := range r.metrics {
+		out[name] = e.m.value()
+	}
+	return out
+}
+
+// formatFloat renders a float the way Prometheus clients expect (shortest
+// round-trip representation).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

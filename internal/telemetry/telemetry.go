@@ -1,0 +1,57 @@
+// Package telemetry is the advisor stack's observability layer: a
+// dependency-free metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text-format exposition and an expvar mirror,
+// a span-style tracer that records the selection lifecycle to an in-memory
+// ring and an optional JSONL run journal, and a process-wide structured
+// logger hook (log/slog).
+//
+// Everything is built for "free when off": a nil *Tracer yields nil *Span
+// values whose methods are no-ops with zero allocations, the default logger
+// discards without formatting, and metric updates are single atomic
+// operations. Hot paths (the Algorithm-1 candidate evaluator, the what-if
+// cache) are never instrumented per call — per-step aggregates and
+// scrape-time reader functions keep the cost off the inner loops.
+//
+// Metric names follow Prometheus conventions with the indexsel_ prefix;
+// DESIGN.md §7 tables the full inventory, span hierarchy and journal schema.
+package telemetry
+
+import "log/slog"
+
+// Telemetry bundles the sinks a selection run reports into. Zero fields are
+// valid: a nil Tracer disables spans, a nil Registry means Default(), a nil
+// Logger means the package logger (L()).
+type Telemetry struct {
+	// Tracer receives the selection lifecycle spans (advisor.select and its
+	// children). Nil disables tracing at zero cost.
+	Tracer *Tracer
+	// Registry receives scrape-time reader metrics bound to the advisor's
+	// what-if optimizer. Nil means the process-wide Default() registry.
+	Registry *Registry
+	// Logger overrides the package logger for this advisor's runs.
+	Logger *slog.Logger
+}
+
+// Reg returns the effective registry (Default() when unset). Nil-safe.
+func (t *Telemetry) Reg() *Registry {
+	if t == nil || t.Registry == nil {
+		return Default()
+	}
+	return t.Registry
+}
+
+// Log returns the effective logger (the package logger when unset). Nil-safe.
+func (t *Telemetry) Log() *slog.Logger {
+	if t == nil || t.Logger == nil {
+		return L()
+	}
+	return t.Logger
+}
+
+// Trace returns the tracer, which may be nil (tracing disabled). Nil-safe.
+func (t *Telemetry) Trace() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}

@@ -1,0 +1,302 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("indexsel_test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("indexsel_test_level", "level")
+	g.Set(2.5)
+	r.SetFunc("indexsel_test_reader", "reader", KindCounter, func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE indexsel_test_ops_total counter",
+		"indexsel_test_ops_total 5",
+		"# TYPE indexsel_test_level gauge",
+		"indexsel_test_level 2.5",
+		"indexsel_test_reader 7",
+		"# HELP indexsel_test_ops_total ops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Idempotent constructor returns the same instance.
+	if r.Counter("indexsel_test_ops_total", "ops") != c {
+		t.Error("Counter not idempotent")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("indexsel_test_dur_seconds", "d", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 56.05; got != want {
+		t.Fatalf("Sum = %g, want %g", got, want)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`indexsel_test_dur_seconds_bucket{le="0.1"} 1`,
+		`indexsel_test_dur_seconds_bucket{le="1"} 3`,
+		`indexsel_test_dur_seconds_bucket{le="10"} 4`,
+		`indexsel_test_dur_seconds_bucket{le="+Inf"} 5`,
+		"indexsel_test_dur_seconds_sum 56.05",
+		"indexsel_test_dur_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionParses walks every sample line and checks it is
+// "name[{labels}] value" with a parseable value — a minimal validity check
+// of the text format.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(3)
+	r.Gauge("b", "b").Set(-1.25)
+	r.Histogram("c_seconds", "c", nil).Observe(0.02)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "", nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); got < 7.99 || got > 8.01 {
+		t.Fatalf("Sum = %g, want ~8", got)
+	}
+}
+
+func TestSnapshotMirror(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "").Add(2)
+	snap := r.Snapshot()
+	if v, ok := snap["x_total"].(int64); !ok || v != 2 {
+		t.Fatalf("Snapshot[x_total] = %v, want 2", snap["x_total"])
+	}
+}
+
+func TestTracerJournalAndRing(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(2, &buf)
+	root := tr.Start("root")
+	child := root.Child("child")
+	child.SetInt("n", 3)
+	child.SetFloat("gain", 1.5)
+	child.SetStr("kind", "new")
+	child.SetBool("ok", true)
+	child.End()
+	root.End()
+
+	// Ring capacity 2: both records present, child first (ended first).
+	recs := tr.Snapshot()
+	if len(recs) != 2 || recs[0].Name != "child" || recs[1].Name != "root" {
+		t.Fatalf("ring = %+v", recs)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Errorf("child.Parent = %d, want root ID %d", recs[0].Parent, recs[1].ID)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("journal has %d lines, want 2", len(lines))
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("journal line not JSON: %v", err)
+	}
+	if rec.Name != "child" || rec.Attrs["n"] != float64(3) || rec.Attrs["kind"] != "new" {
+		t.Errorf("journal record = %+v", rec)
+	}
+	if tr.Err() != nil {
+		t.Fatal(tr.Err())
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(3, nil)
+	for i := 0; i < 5; i++ {
+		sp := tr.Start(fmt.Sprintf("s%d", i))
+		sp.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 3 || recs[0].Name != "s2" || recs[2].Name != "s4" {
+		t.Fatalf("ring after wrap = %+v", recs)
+	}
+}
+
+func TestSpanDiscard(t *testing.T) {
+	tr := NewTracer(4, nil)
+	sp := tr.Start("dropme")
+	sp.Discard()
+	sp.End()
+	if n := len(tr.Snapshot()); n != 0 {
+		t.Fatalf("discarded span recorded (%d records)", n)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestTracerWriteErrorSticky(t *testing.T) {
+	tr := NewTracer(4, failWriter{})
+	tr.Start("x").End()
+	if tr.Err() != io.ErrClosedPipe {
+		t.Fatalf("Err = %v, want ErrClosedPipe", tr.Err())
+	}
+	tr.Start("y").End() // must not panic; ring still records
+	if len(tr.Snapshot()) != 2 {
+		t.Fatal("ring stopped recording after write error")
+	}
+}
+
+// TestNilTracerZeroAlloc is the disabled fast path contract: a nil tracer's
+// span tree must cost zero allocations.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Start("select")
+		st := sp.Child("step")
+		st.SetInt("candidates", 100)
+		st.SetFloat("gain", 3.25)
+		st.SetStr("kind", "extend")
+		st.SetBool("ok", true)
+		st.Discard()
+		st.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("select")
+		st := sp.Child("step")
+		st.SetInt("candidates", int64(i))
+		st.End()
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer(1024, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("step")
+		sp.SetInt("candidates", int64(i))
+		sp.End()
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("indexsel_served_total", "served").Add(9)
+	srv, addr, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "indexsel_served_total 9") {
+		t.Fatalf("metrics endpoint body:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	// /debug/pprof and /debug/vars ride the same mux.
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := client.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPackageLoggerHook(t *testing.T) {
+	if L() == nil {
+		t.Fatal("default logger nil")
+	}
+	var buf bytes.Buffer
+	SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	defer SetLogger(nil)
+	L().Info("hello", "k", 1)
+	if !strings.Contains(buf.String(), "hello") {
+		t.Fatalf("log output = %q", buf.String())
+	}
+	SetLogger(nil)
+	if L().Enabled(nil, 0) {
+		t.Error("restored default logger should be disabled")
+	}
+}

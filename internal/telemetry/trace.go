@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one finished span as kept in the ring and written to the JSONL
+// journal (one object per line). Attrs marshal with sorted keys, so journal
+// lines are deterministic up to timings.
+type Record struct {
+	// ID is unique per tracer; Parent is 0 for root spans.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Name is the span name (see DESIGN.md §7 for the hierarchy).
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurUS is the span duration in microseconds.
+	DurUS int64 `json:"dur_us"`
+	// Attrs are the span's attributes (counts, gains, sizes).
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer records spans into a bounded in-memory ring and, optionally, an
+// io.Writer as JSONL. A nil *Tracer is the disabled state: Start returns a
+// nil *Span and every span method no-ops without allocating.
+//
+// The tracer is safe for concurrent use; individual spans are not (each
+// span is owned by the goroutine that created it, which matches the
+// serial-phase structure of the selection algorithms).
+type Tracer struct {
+	mu     sync.Mutex
+	nextID uint64
+	ring   []Record // capacity-bounded, oldest overwritten
+	pos    int
+	filled bool
+	w      io.Writer
+	werr   error
+}
+
+// NewTracer returns a tracer keeping the most recent ringCap spans
+// (minimum 1) and, when w is non-nil, appending each finished span to w as
+// one JSON line.
+func NewTracer(ringCap int, w io.Writer) *Tracer {
+	if ringCap < 1 {
+		ringCap = 1
+	}
+	return &Tracer{ring: make([]Record, ringCap), w: w}
+}
+
+// Err returns the first JSONL write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.werr
+}
+
+// Snapshot returns the ring's records, oldest first.
+func (t *Tracer) Snapshot() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		out := make([]Record, t.pos)
+		copy(out, t.ring[:t.pos])
+		return out
+	}
+	out := make([]Record, 0, len(t.ring))
+	out = append(out, t.ring[t.pos:]...)
+	out = append(out, t.ring[:t.pos]...)
+	return out
+}
+
+func (t *Tracer) record(r Record) {
+	t.mu.Lock()
+	t.ring[t.pos] = r
+	t.pos++
+	if t.pos == len(t.ring) {
+		t.pos, t.filled = 0, true
+	}
+	var w io.Writer
+	if t.w != nil && t.werr == nil {
+		w = t.w
+	}
+	t.mu.Unlock()
+	if w == nil {
+		return
+	}
+	line, err := json.Marshal(r)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = w.Write(line)
+	}
+	if err != nil {
+		t.mu.Lock()
+		if t.werr == nil {
+			t.werr = err
+		}
+		t.mu.Unlock()
+	}
+}
+
+func (t *Tracer) newID() uint64 {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return id
+}
+
+// Span is one timed phase of a selection run. All methods are safe on a nil
+// receiver (the disabled state) and allocate nothing in that case; attribute
+// setters take concrete types so disabled call sites do not even box their
+// arguments.
+type Span struct {
+	t         *Tracer
+	id        uint64
+	parent    uint64
+	name      string
+	start     time.Time
+	attrs     map[string]any
+	discarded bool
+}
+
+// Start opens a root span. Returns nil (disabled) when t is nil.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, id: t.newID(), name: name, start: time.Now()}
+}
+
+// Child opens a sub-span. Nil-safe: a nil parent yields a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, id: s.t.newID(), parent: s.id, name: name, start: time.Now()}
+}
+
+func (s *Span) set(key string, v any) {
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 8)
+	}
+	s.attrs[key] = v
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// SetBool attaches a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
+// Discard drops the span: End becomes a no-op. Used when a phase opened a
+// span but turned out to do nothing worth journaling.
+func (s *Span) Discard() {
+	if s == nil {
+		return
+	}
+	s.discarded = true
+}
+
+// End finishes the span and records it to the ring and journal.
+func (s *Span) End() {
+	if s == nil || s.discarded {
+		return
+	}
+	s.discarded = true // guard against double End
+	s.t.record(Record{
+		ID:     s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		DurUS:  time.Since(s.start).Microseconds(),
+		Attrs:  s.attrs,
+	})
+}

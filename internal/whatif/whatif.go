@@ -7,10 +7,13 @@
 package whatif
 
 import (
+	"context"
+	"log/slog"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -32,11 +35,26 @@ type Source interface {
 
 // Stats aggregates what-if accounting. Calls counts distinct underlying cost
 // evaluations — the paper's "number of what-if optimizer calls"; cache hits
-// are free re-reads of earlier calls.
+// are free re-reads of earlier calls. The remaining fields snapshot cache
+// shape for observability: they are filled by Stats() and zeroed neither by
+// ResetStats (they describe retained caches, not counters) nor by use.
 type Stats struct {
 	Calls     int64
 	CacheHits int64
+	// DistinctIndexes is the number of distinct indexes whose size has been
+	// served — the advisor's touched index universe.
+	DistinctIndexes int
+	// IndexCacheEntries is the total (query, index) cost-cache population,
+	// i.e. the sum over IndexShardEntries.
+	IndexCacheEntries int
+	// IndexShardEntries is the per-shard occupancy of the sharded
+	// (query, index) cost cache; skew here means worker goroutines contend.
+	IndexShardEntries [NumShards]int
 }
+
+// NumShards is the shard count of the pair-keyed caches, exported for the
+// Stats occupancy array.
+const NumShards = optShards
 
 // Optimizer is a concurrency-safe caching what-if facade. The per-(query,
 // index) caches are sharded by query ID so that the parallel candidate
@@ -198,21 +216,38 @@ func (o *Optimizer) Invalidate(q workload.Query) {
 	o.mu.Lock()
 	delete(o.baseCache, q.ID)
 	o.mu.Unlock()
+	dropped := 0
 	for _, caches := range [2]*[optShards]pairShard{&o.indexCache, &o.maintCache} {
 		shard := &caches[shardOf(q.ID)]
 		shard.mu.Lock()
 		for key := range shard.m {
 			if key.query == q.ID {
 				delete(shard.m, key)
+				dropped++
 			}
 		}
 		shard.mu.Unlock()
 	}
+	if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
+		lg.Debug("whatif cache invalidated", "query", q.ID, "entries_dropped", dropped)
+	}
 }
 
-// Stats returns a snapshot of the call counters.
+// Stats returns a snapshot of the call counters and cache occupancy.
 func (o *Optimizer) Stats() Stats {
-	return Stats{Calls: o.calls.Load(), CacheHits: o.cacheHits.Load()}
+	s := Stats{Calls: o.calls.Load(), CacheHits: o.cacheHits.Load()}
+	o.mu.RLock()
+	s.DistinctIndexes = len(o.sizeCache)
+	o.mu.RUnlock()
+	for i := range o.indexCache {
+		sh := &o.indexCache[i]
+		sh.mu.RLock()
+		n := len(sh.m)
+		sh.mu.RUnlock()
+		s.IndexShardEntries[i] = n
+		s.IndexCacheEntries += n
+	}
+	return s
 }
 
 // ResetStats zeroes the call counters, keeping the caches.

@@ -122,6 +122,76 @@ func TestResetStatsKeepsCache(t *testing.T) {
 	}
 }
 
+// TestResetStatsPreservesPairCaches pins the full ResetStats contract for
+// the sharded (query, index) caches: counters go to zero, but cached index
+// costs, maintenance costs, and sizes keep being served without new
+// underlying calls — and the occupancy snapshot still reflects them.
+func TestResetStatsPreservesPairCaches(t *testing.T) {
+	w := testWorkload(t)
+	o := New(costmodel.New(w, costmodel.SingleIndex))
+	var indexed []workload.Index
+	for _, q := range w.Queries[:8] {
+		k := workload.MustIndex(w, q.Attrs[0])
+		o.CostWithIndex(q, k)
+		o.MaintenanceCost(q, k)
+		o.IndexSize(k)
+		indexed = append(indexed, k)
+	}
+	before := o.Stats()
+	if before.Calls == 0 || before.IndexCacheEntries == 0 {
+		t.Fatalf("setup produced no cached calls: %+v", before)
+	}
+
+	o.ResetStats()
+	after := o.Stats()
+	if after.Calls != 0 || after.CacheHits != 0 {
+		t.Fatalf("ResetStats left counters %+v", after)
+	}
+	if after.IndexCacheEntries != before.IndexCacheEntries ||
+		after.DistinctIndexes != before.DistinctIndexes ||
+		after.IndexShardEntries != before.IndexShardEntries {
+		t.Errorf("ResetStats disturbed cache occupancy: before %+v after %+v", before, after)
+	}
+
+	// Re-reads are served entirely from the preserved caches.
+	for i, q := range w.Queries[:8] {
+		o.CostWithIndex(q, indexed[i])
+	}
+	if s := o.Stats(); s.Calls != 0 {
+		t.Errorf("caches not preserved: %d fresh calls after reset", s.Calls)
+	}
+}
+
+// TestStatsOccupancy checks the observability snapshot: distinct sized
+// indexes and the sharded cost-cache population (total and per shard).
+func TestStatsOccupancy(t *testing.T) {
+	w := testWorkload(t)
+	o := New(costmodel.New(w, costmodel.SingleIndex))
+	distinct := make(map[string]bool)
+	entries := 0
+	for _, q := range w.Queries {
+		k := workload.MustIndex(w, q.Attrs[0])
+		o.CostWithIndex(q, k) // one pair-cache entry per (q, lead index)
+		o.IndexSize(k)
+		distinct[k.Key()] = true
+		entries++
+	}
+	s := o.Stats()
+	if s.DistinctIndexes != len(distinct) {
+		t.Errorf("DistinctIndexes = %d, want %d", s.DistinctIndexes, len(distinct))
+	}
+	if s.IndexCacheEntries != entries {
+		t.Errorf("IndexCacheEntries = %d, want %d", s.IndexCacheEntries, entries)
+	}
+	sum := 0
+	for _, n := range s.IndexShardEntries {
+		sum += n
+	}
+	if sum != s.IndexCacheEntries {
+		t.Errorf("shard occupancy sums to %d, want %d", sum, s.IndexCacheEntries)
+	}
+}
+
 func TestIndexSizeCachedNotCounted(t *testing.T) {
 	w := testWorkload(t)
 	m := costmodel.New(w, costmodel.SingleIndex)

@@ -1,0 +1,74 @@
+package indexsel
+
+import "testing"
+
+func TestFrontierEmptyTrace(t *testing.T) {
+	rec := &Recommendation{BaseCost: 123.5}
+	pts := rec.Frontier()
+	if len(pts) != 1 {
+		t.Fatalf("Frontier() = %d points, want 1", len(pts))
+	}
+	if pts[0].Memory != 0 || pts[0].Cost != 123.5 {
+		t.Errorf("Frontier()[0] = %+v, want {0 123.5}", pts[0])
+	}
+}
+
+func TestImprovementZeroBaseCost(t *testing.T) {
+	for _, rec := range []*Recommendation{
+		{BaseCost: 0, Cost: 0},
+		{BaseCost: 0, Cost: 10},
+		{BaseCost: -5, Cost: 1},
+	} {
+		if got := rec.Improvement(); got != 0 {
+			t.Errorf("Improvement() with BaseCost=%v = %v, want 0", rec.BaseCost, got)
+		}
+	}
+}
+
+func TestImprovementBounds(t *testing.T) {
+	rec := &Recommendation{BaseCost: 200, Cost: 50}
+	if got := rec.Improvement(); got != 0.75 {
+		t.Errorf("Improvement() = %v, want 0.75", got)
+	}
+	same := &Recommendation{BaseCost: 200, Cost: 200}
+	if got := same.Improvement(); got != 0 {
+		t.Errorf("Improvement() with no reduction = %v, want 0", got)
+	}
+}
+
+// TestFrontierMonotoneOnRealRun checks the H6 frontier invariant on an actual
+// selection: Algorithm 1 only takes cost-reducing steps (no drop extensions
+// enabled by default), so the frontier cost never increases and the trace
+// aligns point-for-point with the steps.
+func TestFrontierMonotoneOnRealRun(t *testing.T) {
+	w := smallWorkload(t)
+	adv := NewAdvisor(w, WithBudgetShare(0.3))
+	rec, err := adv.Select(StrategyExtend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) == 0 {
+		t.Fatal("expected a non-empty construction trace")
+	}
+	pts := rec.Frontier()
+	if len(pts) != len(rec.Steps)+1 {
+		t.Fatalf("Frontier() = %d points, want steps+1 = %d", len(pts), len(rec.Steps)+1)
+	}
+	if pts[0].Memory != 0 || pts[0].Cost != rec.BaseCost {
+		t.Errorf("Frontier()[0] = %+v, want {0 %v}", pts[0], rec.BaseCost)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cost > pts[i-1].Cost {
+			t.Errorf("frontier cost increased at point %d: %v -> %v", i, pts[i-1].Cost, pts[i].Cost)
+		}
+		if pts[i].Memory != rec.Steps[i-1].MemAfter || pts[i].Cost != rec.Steps[i-1].CostAfter {
+			t.Errorf("frontier point %d = %+v does not match step %d {%v %v}",
+				i, pts[i], i-1, rec.Steps[i-1].MemAfter, rec.Steps[i-1].CostAfter)
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.Cost != rec.Cost || last.Memory != rec.Memory {
+		t.Errorf("final frontier point %+v != recommendation (cost %v, memory %d)",
+			last, rec.Cost, rec.Memory)
+	}
+}
