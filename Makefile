@@ -1,13 +1,16 @@
 # Developer entry points. `make bench-core` records the BenchmarkSelect
 # matrix (serial/parallel x full/incremental candidate evaluation) as
-# results/BENCH_core.json so the Algorithm-1 perf trajectory is tracked
+# results/BENCH_core.json; `make bench-lp` records branch-and-bound node
+# throughput (sparse warm-started vs dense cold-start) as
+# results/BENCH_lp.json. Both are committed so perf trajectories are tracked
 # across PRs.
 
 GO ?= go
 BENCH_COUNT ?= 3
 BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental)$$
+BENCH_LP_PATTERN := ^BenchmarkMIP(Sparse|Dense)$$
 
-.PHONY: build test race bench-core
+.PHONY: build test race bench-core bench-lp
 
 build:
 	$(GO) build ./...
@@ -16,9 +19,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/whatif ./internal/engine
+	$(GO) test -race ./internal/core ./internal/whatif ./internal/engine ./internal/lp
 
 bench-core:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
 		-count $(BENCH_COUNT) -timeout 60m . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > results/BENCH_core.json
+
+bench-lp:
+	$(GO) test -run '^$$' -bench '$(BENCH_LP_PATTERN)' -benchmem \
+		-count $(BENCH_COUNT) -timeout 60m ./internal/lp \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > results/BENCH_lp.json

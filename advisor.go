@@ -145,8 +145,9 @@ func WithTelemetry(t *Telemetry) Option {
 }
 
 // WithParallelism sets the number of worker goroutines Algorithm 1 uses to
-// evaluate candidate steps (0, the default, uses GOMAXPROCS; 1 forces serial
-// evaluation). Results are identical at every setting — candidate gains are
+// evaluate candidate steps, and that the CoPhy explicit-LP branch and bound
+// uses to solve node relaxations (0, the default, uses GOMAXPROCS; 1 forces
+// serial evaluation). Results are identical at every setting — work units are
 // computed whole per goroutine and reduced deterministically. It overrides
 // the Parallelism field of WithExtendOptions regardless of option order.
 func WithParallelism(n int) Option {
@@ -352,6 +353,7 @@ func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (
 			Gap:                ad.gap,
 			TimeLimit:          ad.timeLimit,
 			DominanceReduction: ad.dominance,
+			Parallelism:        ad.parallelism,
 			Span:               root,
 		})
 		if err != nil {

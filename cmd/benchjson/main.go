@@ -24,6 +24,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. "nodes/s" from the lp
+	// branch-and-bound benchmarks), keyed by unit string.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Output is the document written to stdout.
@@ -104,6 +107,13 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = &v
+			}
+		default:
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = v
 			}
 		}
 	}

@@ -61,7 +61,7 @@ func main() {
 		gap         = flag.Float64("gap", 0.05, "cophy optimality gap")
 		timeLimit   = flag.Duration("timelimit", time.Minute, "cophy time limit")
 		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
-		parallelism = flag.Int("parallelism", 0, "extend worker goroutines (0 = all cores, 1 = serial; identical results)")
+		parallelism = flag.Int("parallelism", 0, "worker goroutines for extend evaluation and cophy branch-and-bound node solves (0 = all cores, 1 = serial; identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		jsonOut     = flag.Bool("json", false, "emit the full recommendation as JSON on stdout")

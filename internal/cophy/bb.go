@@ -204,6 +204,14 @@ func (ins *instance) baseTotal() float64 {
 // search's starting incumbent and the fallback when the explicit-LP path
 // hits its deadline without one.
 func (ins *instance) greedy(budget int64) ([]int, float64) {
+	return ins.greedyMasked(budget, nil)
+}
+
+// greedyMasked is greedy restricted to the candidates with allowed[ci] true
+// (nil allows all). The sifting path runs it over the root LP's fractional
+// support, where the density rule is no longer distracted by high-density
+// candidates the relaxation proves unhelpful.
+func (ins *instance) greedyMasked(budget int64, allowed []bool) ([]int, float64) {
 	cur := append([]float64(nil), ins.base...)
 	marginal := func(ci int) float64 {
 		var gain float64
@@ -218,6 +226,9 @@ func (ins *instance) greedy(budget int64) ([]int, float64) {
 	h := &candHeap{ins: ins}
 	for ci := range ins.cands {
 		info := &ins.cands[ci]
+		if allowed != nil && !allowed[ci] {
+			continue
+		}
 		if len(info.queries) == 0 || info.size > budget {
 			continue
 		}

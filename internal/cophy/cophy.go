@@ -59,6 +59,13 @@ type Options struct {
 	// forces the combinatorial path. Setting both is an error.
 	ForceLP            bool
 	ForceCombinatorial bool
+	// MaxDirectLPSize bounds the number of LP variables the explicit-LP path
+	// materializes in full. Larger models are solved by sifting: a
+	// Lagrangian dual ascent picks a candidate restriction, the restricted
+	// MIP starts from the greedy incumbent, and the ascent (or root-dual)
+	// bound certifies the result over the full candidate set. Zero means
+	// 40000.
+	MaxDirectLPSize int
 	// DominanceReduction removes globally dominated candidates before
 	// solving when the candidate set is at most MaxDominanceSize. It never
 	// changes the optimum, only the search size.
@@ -66,6 +73,10 @@ type Options struct {
 	// MaxDominanceSize bounds the candidate count for the (quadratic)
 	// dominance filter; zero means 4000.
 	MaxDominanceSize int
+	// Parallelism is the number of worker goroutines the explicit-LP
+	// branch and bound uses for node LP solves; 0 means GOMAXPROCS.
+	// Results are bit-identical at any setting.
+	Parallelism int
 	// Span, if non-nil, is the parent telemetry span; the solve records one
 	// child span per phase (cophy.build, cophy.reduce, cophy.solve) under it.
 	Span *telemetry.Span
@@ -159,15 +170,11 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 		err    error
 	)
 	if useLP {
-		chosen, cost, nodes, gap, dnf, err = ins.solveLP(opts.Budget, opts.Gap, deadline)
-		if err == nil {
-			// A deadline can strike the MIP before any integral incumbent
-			// exists; the cheap greedy solution is then strictly better
-			// than returning the empty selection.
-			if gChosen, gCost := ins.greedy(opts.Budget); gCost < cost {
-				chosen, cost = gChosen, gCost
-			}
+		directCap := opts.MaxDirectLPSize
+		if directCap == 0 {
+			directCap = 40_000
 		}
+		chosen, cost, nodes, gap, dnf, err = ins.solveLP(opts.Budget, opts.Gap, deadline, opts.Parallelism, directCap, ssp)
 	} else {
 		chosen, cost, nodes, gap, dnf = ins.solveCombinatorial(opts.Budget, opts.Gap, deadline)
 	}
@@ -376,52 +383,123 @@ func (ins *instance) reduceDominated() {
 	}
 }
 
-// solveLP materializes eqs. (5)-(8) and solves with the lp package's MIP.
-func (ins *instance) solveLP(budget int64, gap float64, deadline time.Time) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
+// solveLP materializes eqs. (5)-(8) and solves with the lp package's
+// warm-started branch and bound. The greedy heuristic runs first: its
+// objective seeds the MIP as a cutoff (pruning nodes before any incumbent
+// exists) and serves as the fallback incumbent when the deadline strikes
+// early. The reported gap is proven against the MIP's lower bound for
+// whichever solution — MIP incumbent or greedy — is returned.
+//
+// The model is built in substituted form: the base-assignment variable is
+// eliminated via z_j0 = 1 − Σ_k z_jk, turning constraint (6) into
+// Σ_k z_jk ≤ 1 and shifting each z_jk's cost to freq·(f_j(k) − f_j(0)) ≤ 0
+// plus a constant Σ freq·f_j(0). With every row a ≤ with nonnegative
+// right-hand side, the all-slack basis is primal feasible at the "no
+// indexes" vertex and the primal simplex descends directly — no equality
+// phase-1 work on the 100k-row instances of Table I.
+func (ins *instance) solveLP(budget int64, gap float64, deadline time.Time, parallelism int, directCap int, span *telemetry.Span) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
+	gChosen, gCost := ins.greedy(budget)
+	if ins.lpVars() > directCap {
+		return ins.solveLPSifted(gChosen, gCost, budget, gap, deadline, parallelism, span)
+	}
+
 	m := lp.NewModel()
 	xVar := make([]int, len(ins.cands))
-	memCoeffs := map[int]float64{}
+	memCols := make([]int32, len(ins.cands))
+	memVals := make([]float64, len(ins.cands))
 	for ci := range ins.cands {
 		xVar[ci] = m.AddVar(ins.cands[ci].writeCost, fmt.Sprintf("x_%s", ins.cands[ci].index.Key()), 1, true)
-		memCoeffs[xVar[ci]] = float64(ins.cands[ci].size)
+		memCols[ci] = int32(xVar[ci])
+		memVals[ci] = float64(ins.cands[ci].size)
+	}
+	var baseSum float64
+	for j := range ins.base {
+		baseSum += ins.freq[j] * ins.base[j]
+	}
+	// Shared backing storage: the per-(query, candidate) VUB rows dominate
+	// the model (one row per pair), so their column slices come from one
+	// preallocated arena and all rows share a single {1, -1} value pair and
+	// a single all-ones vector.
+	pairs := 0
+	maxRow := 1
+	for _, pq := range ins.perQuery {
+		pairs += len(pq)
+		if len(pq) > maxRow {
+			maxRow = len(pq)
+		}
+	}
+	pairCols := make([]int32, 0, 2*pairs)
+	pairVals := []float64{1, -1}
+	ones := make([]float64, maxRow)
+	for i := range ones {
+		ones[i] = 1
 	}
 	for j, pq := range ins.perQuery {
-		one := map[int]float64{}
-		z0 := m.AddVar(ins.freq[j]*ins.base[j], fmt.Sprintf("z_%d_0", j), 1, false)
-		one[z0] = 1
+		row := make([]int32, 0, len(pq))
 		for _, a := range pq {
-			z := m.AddVar(ins.freq[j]*a.cost, fmt.Sprintf("z_%d_%d", j, a.other), 1, false)
-			one[z] = 1
+			z := m.AddVar(ins.freq[j]*(a.cost-ins.base[j]), fmt.Sprintf("z_%d_%d", j, a.other), 1, false)
+			row = append(row, int32(z))
 			// z_jk <= x_k (constraint (7)).
-			m.AddConstraint(map[int]float64{z: 1, xVar[a.other]: -1}, lp.LE, 0)
+			base := len(pairCols)
+			pairCols = append(pairCols, int32(z), int32(xVar[a.other]))
+			m.AddConstraintCols(pairCols[base:], pairVals, lp.LE, 0)
 		}
-		// sum_k z_jk = 1 (constraint (6)).
-		m.AddConstraint(one, lp.EQ, 1)
+		// sum_k z_jk <= 1 (constraint (6) with z_j0 substituted out).
+		m.AddConstraintCols(row, ones[:len(row)], lp.LE, 1)
 	}
 	// Memory budget (constraint (8)).
-	m.AddConstraint(memCoeffs, lp.LE, float64(budget))
+	m.AddConstraintCols(memCols, memVals, lp.LE, float64(budget))
 
-	res, err := lp.SolveMIP(m, lp.MIPOptions{Gap: gap, Deadline: deadline})
+	// Slight inflation keeps an incumbent that exactly matches the greedy
+	// objective from being pruned, so optimal-equal solutions still close
+	// the gap through the incumbent path. The MIP works in the shifted
+	// objective (total minus baseSum).
+	cutoff := gCost - baseSum
+	cutoff += 1e-9 + 1e-9*math.Abs(cutoff)
+	// Crash the root LP at the greedy vertex: with every greedy-chosen x
+	// starting at its bound the z ≤ x rows open up immediately, instead of
+	// forcing a long run of degenerate pivots from the all-zero start.
+	crash := make([]int, 0, len(gChosen))
+	for _, ci := range gChosen {
+		crash = append(crash, xVar[ci])
+	}
+	res, err := lp.SolveMIP(m, lp.MIPOptions{
+		Gap:          gap,
+		Deadline:     deadline,
+		Parallelism:  parallelism,
+		Cutoff:       cutoff,
+		CrashAtUpper: crash,
+		Span:         span,
+	})
 	if err != nil {
 		return nil, 0, 0, 0, false, err
 	}
-	if res.Status != lp.Optimal {
-		// No incumbent: return the empty selection at base cost.
-		var base float64
-		for j := range ins.base {
-			base += ins.freq[j] * ins.base[j]
+	cost = math.Inf(1)
+	if res.Status == lp.Optimal {
+		for ci := range ins.cands {
+			if res.X[xVar[ci]] > 0.5 {
+				chosen = append(chosen, ci)
+			}
 		}
-		return nil, base, res.Nodes, math.Inf(1), res.DNF, nil
+		// Recompute the cost from the selection (z variables may leave slack
+		// when an unused index is set).
+		cost = ins.evalCost(chosen)
 	}
-	for ci := range ins.cands {
-		if res.X[xVar[ci]] > 0.5 {
-			chosen = append(chosen, ci)
+	if gCost < cost {
+		chosen, cost = gChosen, gCost
+	}
+	finalGap = math.Inf(1)
+	if !math.IsInf(res.Bound, -1) && !math.IsInf(cost, 1) {
+		bound := res.Bound + baseSum
+		finalGap = 0
+		if cost != 0 {
+			finalGap = (cost - bound) / math.Abs(cost)
+		}
+		if finalGap < 0 {
+			finalGap = 0
 		}
 	}
-	// Recompute the cost from the selection (z variables may leave slack
-	// when an unused index is set).
-	cost = ins.evalCost(chosen)
-	return chosen, cost, res.Nodes, res.Gap, res.DNF, nil
+	return chosen, cost, res.Nodes, finalGap, res.DNF, nil
 }
 
 // evalCost returns F for the chosen candidate indices.

@@ -1,0 +1,127 @@
+package cophy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/candidates"
+	"repro/internal/workload"
+)
+
+// TestAscentBoundBelowOptimum checks the Lagrangian ascent's core contract:
+// its bound never exceeds the true optimum, at any lambda the grid visits.
+func TestAscentBoundBelowOptimum(t *testing.T) {
+	w := gen(t, 1, 8, 12, 20_000, 3)
+	m, opt := setup(w)
+	cands := singleAttrCandidates(w, 8)
+	budget := m.Budget(0.4)
+	want := bruteForce(w, m, cands, budget)
+
+	ins := buildInstance(w, opt, cands)
+	_, gCost := ins.greedy(budget)
+	var baseSum float64
+	for j := range ins.base {
+		baseSum += ins.freq[j] * ins.base[j]
+	}
+	asc := newAscent(ins, budget)
+	bound, lam := asc.search(gCost, baseSum, time.Time{})
+	if bound > want+1e-6*want {
+		t.Fatalf("ascent bound %v exceeds optimum %v", bound, want)
+	}
+	// The closed-form evaluation at the ascent's own duals must agree with
+	// the bound the ascent reported.
+	if lb := ins.lagrangeBound(asc.v, lam, budget); math.Abs(lb-bound) > 1e-6*math.Abs(bound)+1e-9 {
+		t.Fatalf("lagrangeBound(v, lam) = %v, ascent reported %v", lb, bound)
+	}
+	// Validity is lambda-independent: spot-check off-grid prices too.
+	for _, f := range []float64{0, 0.123, 3.7} {
+		lb := asc.ascend(lam * f)
+		if lb > want+1e-6*want {
+			t.Fatalf("bound %v at lambda %v exceeds optimum %v", lb, lam*f, want)
+		}
+	}
+}
+
+// TestSiftedPathSolvesAndCertifies forces the sifting path on an instance
+// small enough to brute force: the selection must be feasible, no worse than
+// greedy, and the reported gap must be a valid certificate (cost reduced by
+// the gap never exceeds the true optimum).
+func TestSiftedPathSolvesAndCertifies(t *testing.T) {
+	w := gen(t, 1, 8, 12, 20_000, 3)
+	m, opt := setup(w)
+	cands := singleAttrCandidates(w, 8)
+	budget := m.Budget(0.4)
+	want := bruteForce(w, m, cands, budget)
+
+	res, err := Solve(w, opt, cands, Options{
+		Budget: budget, Gap: 0.05, ForceLP: true, MaxDirectLPSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DNF {
+		t.Fatal("sifted path reported DNF without a time limit")
+	}
+	if res.Memory > budget {
+		t.Fatalf("memory %d exceeds budget %d", res.Memory, budget)
+	}
+	if got := m.TotalCost(res.Selection); math.Abs(got-res.Cost) > 1e-6*got {
+		t.Fatalf("reported cost %v != model cost %v", res.Cost, got)
+	}
+	if res.Cost < want-1e-6*want {
+		t.Fatalf("cost %v below brute-force optimum %v: invalid selection accounting", res.Cost, want)
+	}
+	// The certificate bound cost*(1-gap) is a lower bound on the full
+	// problem, hence on the optimum.
+	if !math.IsInf(res.Stats.Gap, 1) {
+		bound := res.Cost - res.Stats.Gap*math.Abs(res.Cost)
+		if bound > want+1e-6*want {
+			t.Fatalf("certified bound %v exceeds optimum %v (gap %v)", bound, want, res.Stats.Gap)
+		}
+	}
+}
+
+// TestSiftedPathOnMultiAttributeInstance runs the sifting path on a slightly
+// larger multi-attribute instance against the direct LP path: the sifted
+// selection may be worse (it searches a restriction) but must stay feasible,
+// finish, and never beat the direct path's optimum-with-gap guarantee.
+func TestSiftedPathOnMultiAttributeInstance(t *testing.T) {
+	w := gen(t, 1, 8, 14, 50_000, 7)
+	m, opt := setup(w)
+	combos, err := candidates.Combos(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Occurrences()
+	var cands []workload.Index
+	for _, c := range combos {
+		cands = append(cands, candidates.Representative(c, g, w))
+	}
+	budget := m.Budget(0.3)
+	direct, err := Solve(w, opt, cands, Options{Budget: budget, ForceLP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sifted, err := Solve(w, opt, cands, Options{
+		Budget: budget, Gap: 0.05, ForceLP: true, MaxDirectLPSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sifted.Stats.DNF {
+		t.Fatal("sifted path reported DNF without a time limit")
+	}
+	if sifted.Memory > budget {
+		t.Fatalf("memory %d exceeds budget %d", sifted.Memory, budget)
+	}
+	if sifted.Cost < direct.Cost-1e-6*direct.Cost {
+		t.Fatalf("sifted cost %v below the direct optimum %v", sifted.Cost, direct.Cost)
+	}
+	if !math.IsInf(sifted.Stats.Gap, 1) {
+		bound := sifted.Cost - sifted.Stats.Gap*math.Abs(sifted.Cost)
+		if bound > direct.Cost+1e-6*direct.Cost {
+			t.Fatalf("certified bound %v exceeds direct optimum %v", bound, direct.Cost)
+		}
+	}
+}

@@ -1,0 +1,636 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Variable states of the bounded revised simplex.
+const (
+	atLower int8 = iota
+	atUpper
+	isBasic
+)
+
+// etaFile is a product-form representation of the basis inverse:
+// B⁻¹ = E_K ··· E_1, each eta an elementary column transformation recorded
+// at a pivot. FTRAN applies etas forward, BTRAN backward. The file is reset
+// at each refactorization.
+type etaFile struct {
+	pivRow []int32
+	pivVal []float64
+	start  []int32 // eta k owns entries [start[k], start[k+1])
+	rows   []int32
+	vals   []float64
+}
+
+func (e *etaFile) reset() {
+	e.pivRow = e.pivRow[:0]
+	e.pivVal = e.pivVal[:0]
+	e.rows = e.rows[:0]
+	e.vals = e.vals[:0]
+	if len(e.start) == 0 {
+		e.start = append(e.start, 0)
+	}
+	e.start = e.start[:1]
+}
+
+func (e *etaFile) count() int { return len(e.pivRow) }
+
+// push records an eta from the FTRAN'd entering column v (dense, support in
+// touched) pivoting at row r. v is left unchanged.
+func (e *etaFile) push(v []float64, touched []int32, r int32) {
+	const dropTol = 1e-12
+	for _, i := range touched {
+		if i != r && math.Abs(v[i]) > dropTol {
+			e.rows = append(e.rows, i)
+			e.vals = append(e.vals, v[i])
+		}
+	}
+	e.pivRow = append(e.pivRow, r)
+	e.pivVal = append(e.pivVal, v[r])
+	e.start = append(e.start, int32(len(e.rows)))
+}
+
+// sparseSolver is one revised-simplex workspace bound to an immutable prob.
+// Branch-and-bound workers each own one and reuse it across nodes; lo/up
+// are per-solver copies so node bound changes never touch the shared prob.
+type sparseSolver struct {
+	p      *prob
+	lo, up []float64 // working bounds, length n+m
+
+	basic []int32 // basic[r] = column occupying row r
+	state []int8  // per column
+	pos   []int32 // column → row when basic, -1 otherwise
+	xB    []float64
+	d     []float64 // reduced costs, maintained; refreshed at refactorization
+
+	etas etaFile
+
+	// Dense scratch with explicit support tracking.
+	colV      []float64 // length m: FTRAN column
+	colMark   []bool
+	colTch    []int32
+	rhoV      []float64 // length m: BTRAN row
+	rhoMark   []bool
+	rhoTch    []int32
+	alpha     []float64 // length n+m: pivot row over columns
+	alphaMark []bool
+	alphaTch  []int32
+
+	infeas   []int32 // candidate primal-infeasible rows (lazily validated)
+	inInfeas []bool
+
+	priceList   []int32   // partial-pricing shortlist of attractive columns
+	priceScores []float64 // scratch: scores aligned with priceList at refresh
+
+	refactOrder []int32 // scratch: structural basics in sparsity order
+	basicCols   []int32 // scratch: snapshot of the basic set
+	pendingCol  []bool  // scratch: structural columns awaiting a pivot row
+	rowCnt      []int32 // scratch: pending-column count per unclaimed row
+	peelQ       []int32 // scratch: singleton-row worklist
+
+	iters       int
+	refacts     int
+	boundFlips  int
+	sinceRefact int
+	stall       int
+	bland       bool
+
+	feasTol float64
+	dualTol float64
+}
+
+const (
+	pivTol        = 1e-8
+	degenTol      = 1e-10
+	refactorEvery = 100
+	stallLimit    = 100
+)
+
+func newSparseSolver(p *prob) *sparseSolver {
+	N := p.n + p.m
+	return &sparseSolver{
+		p:          p,
+		lo:         make([]float64, N),
+		up:         make([]float64, N),
+		basic:      make([]int32, p.m),
+		state:      make([]int8, N),
+		pos:        make([]int32, N),
+		xB:         make([]float64, p.m),
+		d:          make([]float64, N),
+		colV:       make([]float64, p.m),
+		colMark:    make([]bool, p.m),
+		rhoV:       make([]float64, p.m),
+		rhoMark:    make([]bool, p.m),
+		alpha:      make([]float64, N),
+		alphaMark:  make([]bool, N),
+		inInfeas:   make([]bool, p.m),
+		pendingCol: make([]bool, p.n),
+		rowCnt:     make([]int32, p.m),
+		feasTol:    1e-7,
+		dualTol:    1e-7 * p.cScale,
+	}
+}
+
+// boundFix overrides one structural variable's bounds (branch-and-bound
+// tightening: for 0/1 variables, [0,0] or [1,1]).
+type boundFix struct {
+	v      int32
+	lo, hi float64
+}
+
+// basisSnapshot is a restartable basis: which column occupies each row plus
+// which nonbasic columns rest at their upper bound. It is immutable once
+// taken; sibling nodes share their parent's snapshot.
+type basisSnapshot struct {
+	basic   []int32
+	atUpper []uint64 // bitset over columns
+}
+
+func (s *sparseSolver) snapshot() *basisSnapshot {
+	N := s.p.n + s.p.m
+	snap := &basisSnapshot{
+		basic:   append([]int32(nil), s.basic...),
+		atUpper: make([]uint64, (N+63)/64),
+	}
+	for j := 0; j < N; j++ {
+		if s.state[j] == atUpper {
+			snap.atUpper[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+	return snap
+}
+
+// crashBasis builds the all-logical (slack) basis with the hinted structural
+// columns resting at their upper bounds instead of their lowers. The basis
+// matrix is still the identity, so installation cannot be singular; only the
+// starting vertex changes. Hints out of range or on columns without a finite
+// upper bound are ignored.
+func crashBasis(p *prob, atUp []int) *basisSnapshot {
+	N := p.n + p.m
+	snap := &basisSnapshot{
+		basic:   make([]int32, p.m),
+		atUpper: make([]uint64, (N+63)/64),
+	}
+	for i := 0; i < p.m; i++ {
+		snap.basic[i] = int32(p.n + i)
+	}
+	for _, j := range atUp {
+		if j >= 0 && j < p.n && !math.IsInf(p.up[j], 1) {
+			snap.atUpper[j>>6] |= 1 << (uint(j) & 63)
+		}
+	}
+	return snap
+}
+
+// reset prepares the workspace for a fresh solve: base bounds plus fixes,
+// and either the warm-start basis or the all-logical (slack) basis.
+func (s *sparseSolver) reset(fixes []boundFix, warm *basisSnapshot) {
+	p := s.p
+	copy(s.lo, p.lo)
+	copy(s.up, p.up)
+	for _, f := range fixes {
+		s.lo[f.v], s.up[f.v] = f.lo, f.hi
+	}
+	s.iters = 0
+	s.stall = 0
+	s.bland = false
+	s.priceList = s.priceList[:0]
+	s.installBasis(warm)
+}
+
+// installBasis loads warm (or the slack basis when nil) and refactorizes.
+// A numerically singular warm basis falls back to the slack basis.
+func (s *sparseSolver) installBasis(warm *basisSnapshot) {
+	p := s.p
+	if warm != nil {
+		copy(s.basic, warm.basic)
+		for j := 0; j < p.n+p.m; j++ {
+			if warm.atUpper[j>>6]&(1<<(uint(j)&63)) != 0 {
+				s.state[j] = atUpper
+			} else {
+				s.state[j] = atLower
+			}
+		}
+		for _, col := range s.basic {
+			s.state[col] = isBasic
+		}
+		if s.refactorize() {
+			return
+		}
+		// Singular warm basis: degrade to cold start.
+	}
+	for j := 0; j < p.n; j++ {
+		s.state[j] = atLower
+		// A branching fix may pin a variable at a nonzero lower bound; with
+		// upper infinite the lower is the only finite bound anyway.
+	}
+	for i := 0; i < p.m; i++ {
+		col := int32(p.n + i)
+		s.basic[i] = col
+		s.state[col] = isBasic
+	}
+	if !s.refactorize() {
+		// The slack basis is the identity; refactorization cannot fail.
+		panic("lp: slack basis refactorization failed")
+	}
+}
+
+// nonbasicValue returns the current value of nonbasic column j.
+func (s *sparseSolver) nonbasicValue(j int32) float64 {
+	if s.state[j] == atUpper {
+		return s.up[j]
+	}
+	lo := s.lo[j]
+	if math.IsInf(lo, -1) {
+		// Free-at-lower cannot happen for structural columns (lower is
+		// always finite); GE logicals rest at their upper bound 0.
+		return 0
+	}
+	return lo
+}
+
+// scatterColumn loads structural column j (or the logical unit column) into
+// colV, returning the touched support.
+func (s *sparseSolver) scatterColumn(j int32) {
+	p := s.p
+	s.colTch = s.colTch[:0]
+	if int(j) >= p.n {
+		r := j - int32(p.n)
+		s.colV[r] = 1
+		s.colMark[r] = true
+		s.colTch = append(s.colTch, r)
+		return
+	}
+	for idx := p.colPtr[j]; idx < p.colPtr[j+1]; idx++ {
+		r := p.colRow[idx]
+		if !s.colMark[r] {
+			s.colMark[r] = true
+			s.colTch = append(s.colTch, r)
+		}
+		s.colV[r] += p.colVal[idx]
+	}
+}
+
+// clearColumn zeroes colV's support.
+func (s *sparseSolver) clearColumn() {
+	for _, r := range s.colTch {
+		s.colV[r] = 0
+		s.colMark[r] = false
+	}
+	s.colTch = s.colTch[:0]
+}
+
+// ftranCol applies the eta file to colV in place (v ← B⁻¹ v), maintaining
+// the touched support. Etas whose pivot entry is zero are skipped, which is
+// the dominant case for the short columns of VUB-structured models.
+func (s *sparseSolver) ftranCol() {
+	e := &s.etas
+	for k := 0; k < len(e.pivRow); k++ {
+		r := e.pivRow[k]
+		vr := s.colV[r]
+		if vr == 0 {
+			continue
+		}
+		vr /= e.pivVal[k]
+		s.colV[r] = vr
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			i := e.rows[idx]
+			if !s.colMark[i] {
+				s.colMark[i] = true
+				s.colTch = append(s.colTch, i)
+			}
+			s.colV[i] -= e.vals[idx] * vr
+		}
+	}
+}
+
+// btranRow computes rhoV ← (eᵣ)ᵀ B⁻¹ with support tracking.
+func (s *sparseSolver) btranRow(r int32) {
+	s.rhoTch = s.rhoTch[:0]
+	s.rhoV[r] = 1
+	s.rhoMark[r] = true
+	s.rhoTch = append(s.rhoTch, r)
+	e := &s.etas
+	for k := len(e.pivRow) - 1; k >= 0; k-- {
+		pr := e.pivRow[k]
+		acc := s.rhoV[pr]
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			acc -= e.vals[idx] * s.rhoV[e.rows[idx]]
+		}
+		acc /= e.pivVal[k]
+		if acc != 0 && !s.rhoMark[pr] {
+			s.rhoMark[pr] = true
+			s.rhoTch = append(s.rhoTch, pr)
+		}
+		s.rhoV[pr] = acc
+	}
+}
+
+func (s *sparseSolver) clearRho() {
+	for _, r := range s.rhoTch {
+		s.rhoV[r] = 0
+		s.rhoMark[r] = false
+	}
+	s.rhoTch = s.rhoTch[:0]
+}
+
+// ftranDense applies the eta file to a full-length vector without support
+// tracking (used when recomputing xB at refactorization).
+func (s *sparseSolver) ftranDense(v []float64) {
+	e := &s.etas
+	for k := 0; k < len(e.pivRow); k++ {
+		r := e.pivRow[k]
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		vr /= e.pivVal[k]
+		v[r] = vr
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			v[e.rows[idx]] -= e.vals[idx] * vr
+		}
+	}
+}
+
+// btranDense applies the transposed eta file to a full-length vector (used
+// when recomputing duals at refactorization).
+func (s *sparseSolver) btranDense(y []float64) {
+	e := &s.etas
+	for k := len(e.pivRow) - 1; k >= 0; k-- {
+		r := e.pivRow[k]
+		acc := y[r]
+		for idx := e.start[k]; idx < e.start[k+1]; idx++ {
+			acc -= e.vals[idx] * y[e.rows[idx]]
+		}
+		y[r] = acc / e.pivVal[k]
+	}
+}
+
+// refactorize rebuilds the eta file from scratch. Basic logical columns
+// claim their own rows for free (they are unit vectors of the identity the
+// product form starts from). Structural columns are placed in two stages:
+//
+//  1. Triangular peel. A row touched by exactly one still-unplaced column
+//     admits a fill-free pivot: no earlier peeled pivot row can appear in
+//     that column (its row count would have been ≥ 2), so the FTRAN through
+//     the existing file is the identity and the eta is the original column
+//     verbatim. Peeling one column creates new singleton rows, which are
+//     processed worklist-style — total cost O(nnz). VUB-structured bases
+//     are near-triangular, so this stage places almost everything.
+//  2. Bump. Whatever remains — shortest columns first — is FTRAN'd through
+//     the partial file and pivoted onto its largest-magnitude unclaimed
+//     row, as a general product-form build.
+//
+// It then recomputes xB and the reduced costs, wiping accumulated
+// floating-point drift. Returns false if the basis is numerically singular.
+func (s *sparseSolver) refactorize() bool {
+	p := s.p
+	s.etas.reset()
+	s.refacts++
+	s.sinceRefact = 0
+
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	claimed := s.rhoMark // reuse as row-claim flags; cleared below
+	for i := range claimed {
+		claimed[i] = false
+	}
+	// Snapshot the basic set first: reassigning rows below rewrites s.basic
+	// in place, and a logical column claiming its own row may overwrite an
+	// entry that has not been visited yet.
+	s.basicCols = append(s.basicCols[:0], s.basic...)
+	s.refactOrder = s.refactOrder[:0]
+	for _, col := range s.basicCols {
+		if int(col) >= p.n {
+			row := col - int32(p.n)
+			claimed[row] = true
+			s.basic[row] = col // logical owns its row
+			s.pos[col] = row
+		} else {
+			s.refactOrder = append(s.refactOrder, col)
+			s.pendingCol[col] = true
+		}
+	}
+	sort.Slice(s.refactOrder, func(a, b int) bool {
+		ca, cb := s.refactOrder[a], s.refactOrder[b]
+		na, nb := p.colNNZ(ca), p.colNNZ(cb)
+		if na != nb {
+			return na < nb
+		}
+		return ca < cb
+	})
+
+	// Stage 1: peel singleton rows.
+	for i := range s.rowCnt {
+		s.rowCnt[i] = 0
+	}
+	for _, col := range s.refactOrder {
+		for idx := p.colPtr[col]; idx < p.colPtr[col+1]; idx++ {
+			if r := p.colRow[idx]; !claimed[r] {
+				s.rowCnt[r]++
+			}
+		}
+	}
+	s.peelQ = s.peelQ[:0]
+	for i := int32(0); int(i) < p.m; i++ {
+		if !claimed[i] && s.rowCnt[i] == 1 {
+			s.peelQ = append(s.peelQ, i)
+		}
+	}
+	for qi := 0; qi < len(s.peelQ); qi++ {
+		r := s.peelQ[qi]
+		if claimed[r] || s.rowCnt[r] != 1 {
+			continue
+		}
+		col := int32(-1)
+		var pv float64
+		for idx := p.rowPtr[r]; idx < p.rowPtr[r+1]; idx++ {
+			if c := p.rowCol[idx]; s.pendingCol[c] {
+				col, pv = c, p.rowVal[idx]
+				break
+			}
+		}
+		if col < 0 {
+			continue
+		}
+		// Threshold pivoting: a singleton row whose entry is tiny relative
+		// to its column is numerically unsafe; leave it to the bump stage.
+		colMax := 0.0
+		for idx := p.colPtr[col]; idx < p.colPtr[col+1]; idx++ {
+			if a := math.Abs(p.colVal[idx]); a > colMax {
+				colMax = a
+			}
+		}
+		if a := math.Abs(pv); a <= pivTol || a < 0.01*colMax {
+			continue
+		}
+		e := &s.etas
+		for idx := p.colPtr[col]; idx < p.colPtr[col+1]; idx++ {
+			if rr := p.colRow[idx]; rr != r && math.Abs(p.colVal[idx]) > 1e-12 {
+				e.rows = append(e.rows, rr)
+				e.vals = append(e.vals, p.colVal[idx])
+			}
+		}
+		e.pivRow = append(e.pivRow, r)
+		e.pivVal = append(e.pivVal, pv)
+		e.start = append(e.start, int32(len(e.rows)))
+		claimed[r] = true
+		s.basic[r] = col
+		s.pos[col] = r
+		s.pendingCol[col] = false
+		for idx := p.colPtr[col]; idx < p.colPtr[col+1]; idx++ {
+			if rr := p.colRow[idx]; !claimed[rr] {
+				s.rowCnt[rr]--
+				if s.rowCnt[rr] == 1 {
+					s.peelQ = append(s.peelQ, rr)
+				}
+			}
+		}
+	}
+
+	// Stage 2: general product-form build for the bump.
+	ok := true
+	for _, col := range s.refactOrder {
+		if !s.pendingCol[col] {
+			continue
+		}
+		s.scatterColumn(col)
+		s.ftranCol()
+		best := int32(-1)
+		bestAbs := pivTol
+		for _, r := range s.colTch {
+			if claimed[r] {
+				continue
+			}
+			if a := math.Abs(s.colV[r]); a > bestAbs || (a == bestAbs && (best == -1 || r < best)) {
+				bestAbs, best = a, r
+			}
+		}
+		if best == -1 {
+			ok = false
+			s.clearColumn()
+			break
+		}
+		s.etas.push(s.colV, s.colTch, best)
+		claimed[best] = true
+		s.basic[best] = col
+		s.pos[col] = best
+		s.pendingCol[col] = false
+		s.clearColumn()
+	}
+	for i := range claimed {
+		claimed[i] = false
+	}
+	for _, col := range s.refactOrder {
+		s.pendingCol[col] = false
+	}
+	if !ok {
+		return false
+	}
+
+	s.recomputePrimal()
+	s.recomputeDuals(p.c)
+	return true
+}
+
+// recomputePrimal sets xB = B⁻¹(b − N x_N) from scratch.
+func (s *sparseSolver) recomputePrimal() {
+	p := s.p
+	v := s.xB
+	copy(v, p.b)
+	for j := int32(0); int(j) < p.n+p.m; j++ {
+		if s.state[j] == isBasic {
+			continue
+		}
+		val := s.nonbasicValue(j)
+		if val == 0 {
+			continue
+		}
+		if int(j) >= p.n {
+			v[j-int32(p.n)] -= val
+			continue
+		}
+		for idx := p.colPtr[j]; idx < p.colPtr[j+1]; idx++ {
+			v[p.colRow[idx]] -= p.colVal[idx] * val
+		}
+	}
+	s.ftranDense(v)
+	s.rebuildInfeasible()
+}
+
+// recomputeDuals sets d = c − cB B⁻¹ A from scratch for the given cost
+// vector (structural costs; logicals cost zero).
+func (s *sparseSolver) recomputeDuals(c []float64) {
+	p := s.p
+	y := s.rhoV // reuse as a dense work vector; cleared after use
+	for i := 0; i < p.m; i++ {
+		col := s.basic[i]
+		if int(col) < p.n {
+			y[i] = c[col]
+		} else {
+			y[i] = 0
+		}
+	}
+	s.btranDense(y)
+	for j := int32(0); int(j) < p.n; j++ {
+		if s.state[j] == isBasic {
+			s.d[j] = 0
+			continue
+		}
+		dj := c[j]
+		for idx := p.colPtr[j]; idx < p.colPtr[j+1]; idx++ {
+			dj -= y[p.colRow[idx]] * p.colVal[idx]
+		}
+		s.d[j] = dj
+	}
+	for i := 0; i < p.m; i++ {
+		col := int32(p.n + i)
+		if s.state[col] == isBasic {
+			s.d[col] = 0
+		} else {
+			s.d[col] = -y[i]
+		}
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	s.rhoTch = s.rhoTch[:0]
+}
+
+// rebuildInfeasible rescans every row's basic value against its bounds.
+func (s *sparseSolver) rebuildInfeasible() {
+	s.infeas = s.infeas[:0]
+	for i := range s.inInfeas {
+		s.inInfeas[i] = false
+	}
+	for i := 0; i < s.p.m; i++ {
+		if s.rowInfeasibility(int32(i)) > s.feasTol {
+			s.infeas = append(s.infeas, int32(i))
+			s.inInfeas[i] = true
+		}
+	}
+}
+
+// rowInfeasibility returns how far row i's basic value lies outside its
+// variable's bounds (0 when feasible).
+func (s *sparseSolver) rowInfeasibility(i int32) float64 {
+	col := s.basic[i]
+	if v := s.lo[col] - s.xB[i]; v > 0 {
+		return v
+	}
+	if v := s.xB[i] - s.up[col]; v > 0 {
+		return v
+	}
+	return 0
+}
+
+// markInfeasible queues row i for the dual pricing scan if out of bounds.
+func (s *sparseSolver) markInfeasible(i int32) {
+	if !s.inInfeas[i] && s.rowInfeasibility(i) > s.feasTol {
+		s.infeas = append(s.infeas, i)
+		s.inInfeas[i] = true
+	}
+}

@@ -1,0 +1,84 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// benchCoPhyModel builds a synthetic instance with the CoPhy BIP shape of
+// eqs. (5)-(8): binary x_k per candidate, per-query assignment variables
+// z_{q,k} with sum_k z = 1 and z <= x variable-upper-bound rows, and one
+// memory-budget knapsack. The budget sits at ~40% of total candidate size so
+// the relaxation stays fractional and the search must branch.
+func benchCoPhyModel(queries, cands, perQuery int) *Model {
+	rng := rand.New(rand.NewSource(42))
+	m := NewModel()
+	xVar := make([]int, cands)
+	sizes := make([]float64, cands)
+	var total float64
+	for k := 0; k < cands; k++ {
+		xVar[k] = m.AddVar(0.1+rng.Float64(), fmt.Sprintf("x%d", k), 1, true)
+		sizes[k] = math.Round((1 + rng.Float64()*9) * 10)
+		total += sizes[k]
+	}
+	pairVals := []float64{1, -1}
+	ones := make([]float64, perQuery+1)
+	for i := range ones {
+		ones[i] = 1
+	}
+	for q := 0; q < queries; q++ {
+		freq := 1 + rng.Float64()*4
+		base := 50 + rng.Float64()*50
+		row := []int32{int32(m.AddVar(freq*base, fmt.Sprintf("z%d_0", q), 1, false))}
+		for k := 0; k < perQuery; k++ {
+			cand := rng.Intn(cands)
+			z := m.AddVar(freq*base*(0.1+0.8*rng.Float64()), fmt.Sprintf("z%d_%d", q, k+1), 1, false)
+			row = append(row, int32(z))
+			m.AddConstraintCols([]int32{int32(z), int32(xVar[cand])}, pairVals, LE, 0)
+		}
+		m.AddConstraintCols(row, ones[:len(row)], EQ, 1)
+	}
+	memCols := make([]int32, cands)
+	for k := range xVar {
+		memCols[k] = int32(xVar[k])
+	}
+	m.AddConstraintCols(memCols, sizes, LE, math.Round(total*0.4))
+	return m
+}
+
+// benchMIPNodes runs one solver over the shared instance and reports
+// branch-and-bound node throughput, the headline metric BENCH_lp.json tracks
+// across PRs (sparse warm-started B&B vs the retained dense cold-start seed).
+func benchMIPNodes(b *testing.B, solve func(*Model) (*MIPResult, error)) {
+	m := benchCoPhyModel(30, 20, 8)
+	b.ResetTimer()
+	nodes := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := solve(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Status != Optimal {
+			b.Fatalf("status %v, want optimal", res.Status)
+		}
+		nodes += res.Nodes
+	}
+	b.ReportMetric(float64(nodes)/time.Since(start).Seconds(), "nodes/s")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+}
+
+func BenchmarkMIPSparse(b *testing.B) {
+	benchMIPNodes(b, func(m *Model) (*MIPResult, error) {
+		return SolveMIP(m, MIPOptions{Parallelism: 1})
+	})
+}
+
+func BenchmarkMIPDense(b *testing.B) {
+	benchMIPNodes(b, func(m *Model) (*MIPResult, error) {
+		return denseSolveMIP(m, MIPOptions{})
+	})
+}

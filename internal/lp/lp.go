@@ -1,19 +1,22 @@
-// Package lp provides a small, self-contained linear-programming toolkit:
-// a sparse model builder, a dense two-phase primal simplex solver, and a
-// branch-and-bound mixed-integer layer with optimality-gap and deadline
-// control.
+// Package lp provides a self-contained linear-programming toolkit: a sparse
+// model builder, a sparse revised simplex solver (bounded variables,
+// product-form basis updates with periodic refactorization, primal and dual
+// iterations), and a warm-started parallel branch-and-bound mixed-integer
+// layer with optimality-gap and deadline control.
 //
 // It is the stand-in for the commercial solver (CPLEX via NEOS) that the
-// paper uses to run CoPhy's integer linear program (5)-(8). The package is
-// deliberately sized for the instances where an explicit LP is sensible;
-// package cophy switches to a specialized combinatorial branch-and-bound for
-// instances whose explicit LP would be impractically large — mirroring the
-// paper's observation that solver-based approaches stop scaling.
+// paper uses to run CoPhy's integer linear program (5)-(8). Child nodes of
+// the branch-and-bound re-solve from the parent basis via dual simplex
+// (branching changes only variable bounds, which preserves dual
+// feasibility), so node throughput is dominated by a handful of pivots per
+// node rather than a from-scratch solve. The original dense two-phase
+// tableau solver is retained in dense.go as the differential-testing and
+// benchmarking baseline.
 package lp
 
 import (
 	"fmt"
-	"math"
+	"sort"
 	"time"
 )
 
@@ -42,11 +45,13 @@ func (s Sense) String() string {
 	}
 }
 
-// Constraint is a sparse linear constraint sum(coeff_i * x_i) <sense> rhs.
+// Constraint is a sparse linear constraint sum(Vals_i * x_Cols_i) <Sense> RHS.
+// Duplicate column entries accumulate.
 type Constraint struct {
-	Coeffs map[int]float64
-	Sense  Sense
-	RHS    float64
+	Cols  []int32
+	Vals  []float64
+	Sense Sense
+	RHS   float64
 }
 
 // Model is a minimization problem over non-negative variables.
@@ -56,6 +61,7 @@ type Model struct {
 	integer []bool
 	names   []string
 	cons    []Constraint
+	nnz     int
 }
 
 // NewModel returns an empty model.
@@ -72,10 +78,29 @@ func (m *Model) AddVar(obj float64, name string, upper float64, integer bool) in
 	return len(m.obj) - 1
 }
 
-// AddConstraint appends a constraint. Coefficient maps are not copied;
-// callers must not modify them afterwards.
+// AddConstraint appends a constraint given as a coefficient map. The map is
+// converted to sorted sparse-slice form (so solver arithmetic is independent
+// of map iteration order) and not retained.
 func (m *Model) AddConstraint(coeffs map[int]float64, sense Sense, rhs float64) {
-	m.cons = append(m.cons, Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs})
+	cols := make([]int32, 0, len(coeffs))
+	for j := range coeffs {
+		cols = append(cols, int32(j))
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+	vals := make([]float64, len(cols))
+	for i, j := range cols {
+		vals[i] = coeffs[int(j)]
+	}
+	m.AddConstraintCols(cols, vals, sense, rhs)
+}
+
+// AddConstraintCols appends a constraint in sparse (column, value) form.
+// The slices are retained without copying; callers must not modify them
+// afterwards. This is the allocation-lean path for large models (CoPhy's
+// per-(query, candidate) rows).
+func (m *Model) AddConstraintCols(cols []int32, vals []float64, sense Sense, rhs float64) {
+	m.cons = append(m.cons, Constraint{Cols: cols, Vals: vals, Sense: sense, RHS: rhs})
+	m.nnz += len(cols)
 }
 
 // NumVars returns the number of variables.
@@ -101,7 +126,7 @@ const (
 	Infeasible
 	// Unbounded means the objective decreases without bound.
 	Unbounded
-	// IterationLimit means the simplex hit its iteration cap.
+	// IterationLimit means the simplex hit its iteration cap or deadline.
 	IterationLimit
 )
 
@@ -126,313 +151,37 @@ type Solution struct {
 	X          []float64
 	Objective  float64
 	Iterations int
+	// RowDuals, populated on Optimal solves, holds one dual multiplier per
+	// model constraint in original (unscaled) row units, with the sign
+	// convention of "reduced cost = obj − yᵀA": for this minimization a
+	// binding ≤ row has y ≤ 0 and a binding ≥ row has y ≥ 0. Callers use
+	// these for column-generation pricing and Lagrangian bounds.
+	RowDuals []float64
 }
 
 const eps = 1e-9
 
-// SolveLP solves the LP relaxation of m (integrality ignored) with a dense
-// two-phase primal simplex. Finite upper bounds become explicit constraints.
+// SolveLP solves the LP relaxation of m (integrality ignored) with the
+// sparse revised simplex. Finite upper bounds are handled as variable
+// bounds, not rows.
 func SolveLP(m *Model) (*Solution, error) {
-	return solveWithExtra(m, nil, time.Time{})
-}
-
-// solveWithExtra solves m plus the given extra constraints (used by branch
-// and bound to fix/bound branching variables without copying the model).
-// A non-zero deadline aborts mid-solve with IterationLimit — large dense
-// tableaus can otherwise blow far past a caller's time budget within a
-// single solve.
-func solveWithExtra(m *Model, extra []Constraint, deadline time.Time) (*Solution, error) {
-	n := m.NumVars()
-	if n == 0 {
+	if m.NumVars() == 0 {
 		return &Solution{Status: Optimal, X: nil, Objective: 0}, nil
 	}
-	cons := make([]Constraint, 0, len(m.cons)+len(extra)+n)
-	cons = append(cons, m.cons...)
-	cons = append(cons, extra...)
-	for i, u := range m.upper {
-		if !math.IsInf(u, 1) {
-			cons = append(cons, Constraint{Coeffs: map[int]float64{i: 1}, Sense: LE, RHS: u})
-		}
-	}
-	t := newTableau(m.obj, cons)
-	t.deadline = deadline
-	sol := t.solve()
-	if sol.Status == Optimal {
-		sol.X = sol.X[:n]
-	}
+	p := compile(m)
+	s := newSparseSolver(p)
+	s.reset(nil, nil)
+	sol := s.solve(time.Time{})
 	return sol, nil
 }
 
-// tableau is a dense simplex tableau in standard form.
-type tableau struct {
-	rows, cols int // constraint rows, total columns incl. slack/artificial
-	nStruct    int // structural variables
-	a          [][]float64
-	rhs        []float64
-	obj        []float64 // phase-2 objective over all columns
-	basis      []int
-	artStart   int // first artificial column
-	iters      int
-	z          []float64 // maintained reduced-cost row for the active objective
-	zval       float64   // maintained objective value (negated convention not used)
-	deadline   time.Time // zero = none; checked periodically during pivoting
-}
-
-const maxIters = 200_000
-
-func newTableau(obj []float64, cons []Constraint) *tableau {
-	n := len(obj)
-	mRows := len(cons)
-
-	// Count auxiliary columns.
-	slacks := 0
-	arts := 0
-	for _, c := range cons {
-		rhs := c.RHS
-		sense := c.Sense
-		if rhs < 0 {
-			// Row will be negated; flips LE<->GE.
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		switch sense {
-		case LE:
-			slacks++
-		case GE:
-			slacks++
-			arts++
-		case EQ:
-			arts++
-		}
-	}
-	cols := n + slacks + arts
-	t := &tableau{
-		rows:     mRows,
-		cols:     cols,
-		nStruct:  n,
-		a:        make([][]float64, mRows),
-		rhs:      make([]float64, mRows),
-		obj:      make([]float64, cols),
-		basis:    make([]int, mRows),
-		artStart: n + slacks,
-	}
-	copy(t.obj, obj)
-
-	slackCol := n
-	artCol := n + slacks
-	for i, c := range cons {
-		row := make([]float64, cols)
-		sign := 1.0
-		rhs := c.RHS
-		sense := c.Sense
-		if rhs < 0 {
-			sign, rhs = -1, -rhs
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		for j, v := range c.Coeffs {
-			row[j] += sign * v
-		}
-		switch sense {
-		case LE:
-			row[slackCol] = 1
-			t.basis[i] = slackCol
-			slackCol++
-		case GE:
-			row[slackCol] = -1
-			slackCol++
-			row[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-		case EQ:
-			row[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
-		}
-		t.a[i] = row
-		t.rhs[i] = rhs
-	}
-	return t
-}
-
-// solve runs phase 1 (if artificials exist) then phase 2.
-func (t *tableau) solve() *Solution {
-	if t.artStart < t.cols {
-		phase1 := make([]float64, t.cols)
-		for j := t.artStart; j < t.cols; j++ {
-			phase1[j] = 1
-		}
-		status := t.optimize(phase1, true)
-		if status != Optimal {
-			return &Solution{Status: status, Iterations: t.iters}
-		}
-		if t.objectiveValue(phase1) > 1e-7 {
-			return &Solution{Status: Infeasible, Iterations: t.iters}
-		}
-		t.driveOutArtificials()
-	}
-	status := t.optimize(t.obj, false)
-	if status != Optimal {
-		return &Solution{Status: status, Iterations: t.iters}
-	}
-	x := make([]float64, t.cols)
-	for i, b := range t.basis {
-		x[b] = t.rhs[i]
-	}
-	return &Solution{
-		Status:     Optimal,
-		X:          x,
-		Objective:  t.objectiveValue(t.obj),
-		Iterations: t.iters,
-	}
-}
-
-func (t *tableau) objectiveValue(obj []float64) float64 {
+// objectiveOf evaluates the model objective at x (structural variables).
+func (m *Model) objectiveOf(x []float64) float64 {
 	var v float64
-	for i, b := range t.basis {
-		v += obj[b] * t.rhs[i]
+	for i, c := range m.obj {
+		if c != 0 {
+			v += c * x[i]
+		}
 	}
 	return v
-}
-
-// setObjective initializes the maintained reduced-cost row
-// obj_j - c_B * B^-1 A_j for the current basis. banArtificials pins
-// artificial columns' reduced costs at zero so they never re-enter
-// (phase 2).
-func (t *tableau) setObjective(obj []float64, banArtificials bool) {
-	rc := make([]float64, t.cols)
-	copy(rc, obj)
-	for i, b := range t.basis {
-		cb := obj[b]
-		if cb == 0 {
-			continue
-		}
-		row := t.a[i]
-		for j := 0; j < t.cols; j++ {
-			rc[j] -= cb * row[j]
-		}
-	}
-	if banArtificials {
-		for j := t.artStart; j < t.cols; j++ {
-			rc[j] = 0
-		}
-	}
-	t.z = rc
-	t.zval = t.objectiveValue(obj)
-}
-
-// optimize runs primal simplex iterations for the given objective.
-// In phase 2 artificial columns are excluded from entering the basis: the
-// maintained reduced-cost row is updated by pivots, so a one-time pin at
-// setObjective would not survive.
-func (t *tableau) optimize(obj []float64, isPhase1 bool) Status {
-	t.setObjective(obj, !isPhase1)
-	scanCols := t.cols
-	if !isPhase1 {
-		scanCols = t.artStart
-	}
-	for ; t.iters < maxIters; t.iters++ {
-		if t.iters&1023 == 0 && !t.deadline.IsZero() && time.Now().After(t.deadline) {
-			return IterationLimit
-		}
-		rc := t.z
-		// Entering column: Dantzig rule early, Bland's rule when degenerate
-		// cycling becomes a risk.
-		useBland := t.iters > 10_000
-		enter := -1
-		best := -eps
-		for j := 0; j < scanCols; j++ {
-			if rc[j] < -eps {
-				if useBland {
-					enter = j
-					break
-				}
-				if rc[j] < best {
-					best, enter = rc[j], j
-				}
-			}
-		}
-		if enter == -1 {
-			return Optimal
-		}
-		// Ratio test.
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < t.rows; i++ {
-			if t.a[i][enter] > eps {
-				r := t.rhs[i] / t.a[i][enter]
-				if r < bestRatio-eps || (r < bestRatio+eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
-					bestRatio, leave = r, i
-				}
-			}
-		}
-		if leave == -1 {
-			return Unbounded
-		}
-		t.pivot(leave, enter)
-	}
-	return IterationLimit
-}
-
-func (t *tableau) pivot(row, col int) {
-	p := t.a[row][col]
-	inv := 1 / p
-	for j := 0; j < t.cols; j++ {
-		t.a[row][j] *= inv
-	}
-	t.rhs[row] *= inv
-	for i := 0; i < t.rows; i++ {
-		if i == row {
-			continue
-		}
-		f := t.a[i][col]
-		if f == 0 {
-			continue
-		}
-		rowData := t.a[row]
-		target := t.a[i]
-		for j := 0; j < t.cols; j++ {
-			target[j] -= f * rowData[j]
-		}
-		t.rhs[i] -= f * t.rhs[row]
-		if t.rhs[i] < 0 && t.rhs[i] > -1e-11 {
-			t.rhs[i] = 0
-		}
-	}
-	if t.z != nil {
-		if f := t.z[col]; f != 0 {
-			rowData := t.a[row]
-			for j := 0; j < t.cols; j++ {
-				t.z[j] -= f * rowData[j]
-			}
-			t.zval += f * t.rhs[row]
-		}
-	}
-	t.basis[row] = col
-}
-
-// driveOutArtificials pivots basic artificial variables out of the basis
-// (possible at zero level after a feasible phase 1), so phase 2 ignores them.
-func (t *tableau) driveOutArtificials() {
-	for i := 0; i < t.rows; i++ {
-		if t.basis[i] < t.artStart {
-			continue
-		}
-		for j := 0; j < t.artStart; j++ {
-			if math.Abs(t.a[i][j]) > eps {
-				t.pivot(i, j)
-				break
-			}
-		}
-		// If no pivot column exists the row is redundant; the artificial
-		// stays basic at zero, which is harmless for phase 2.
-	}
 }

@@ -1,9 +1,16 @@
 package lp
 
 import (
+	"container/heap"
+	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // MIPOptions controls branch and bound.
@@ -13,10 +20,44 @@ type MIPOptions struct {
 	// solve to proven optimality.
 	Gap float64
 	// Deadline aborts the search; the incumbent (if any) is returned with
-	// DNF set. Zero means no deadline.
+	// DNF set. Zero means no deadline. The deadline is polled inside
+	// simplex iterations, so a single long LP cannot overrun it.
 	Deadline time.Time
 	// MaxNodes bounds the number of explored nodes; 0 means unlimited.
+	// Hitting the limit before the gap is proven sets DNF.
 	MaxNodes int
+	// Parallelism is the number of worker goroutines solving node LPs.
+	// 0 means GOMAXPROCS. Results are bit-identical at any setting: nodes
+	// are dispatched in fixed-size batches and all incumbent, bound,
+	// pseudo-cost and branching decisions happen in a serial reducer that
+	// consumes batch results in deterministic order.
+	Parallelism int
+	// Cutoff is an externally known feasible objective value (an upper
+	// bound for this minimization), e.g. from a greedy heuristic. Nodes
+	// whose relaxation bound cannot beat it are pruned before any
+	// incumbent exists. Zero means no cutoff.
+	Cutoff float64
+	// Incumbent, when non-nil, is a known feasible point (length NumVars,
+	// integral on the integer variables) installed as the starting
+	// incumbent. Unlike Cutoff it is a real solution: gap-based termination
+	// can fire from the first node, and the search never depends on the
+	// floor heuristic stumbling onto a feasible point. SolveMIP returns an
+	// error if the vector is infeasible or fractional.
+	Incumbent []float64
+	// CrashAtUpper lists variable indices whose root LP starts nonbasic at
+	// the upper bound instead of the lower (a crash hint, typically the
+	// support of a heuristic solution). On variable-upper-bound structures
+	// like CoPhy's z ≤ x rows, the all-lower start makes every early pivot
+	// degenerate — z cannot rise until its x does — and the root LP drowns
+	// in stalling; starting the hinted x columns at their bound gives those
+	// rows slack immediately. Indices out of range or with a non-finite
+	// upper bound are ignored; child nodes warm-start from parent bases as
+	// usual. The hint only picks the starting vertex — it does not affect
+	// which optimum is found.
+	CrashAtUpper []int
+	// Span, when non-nil, receives lp.mip child spans (one per node batch)
+	// and summary attributes.
+	Span *telemetry.Span
 }
 
 // MIPResult is the outcome of SolveMIP.
@@ -26,138 +67,400 @@ type MIPResult struct {
 	Bound float64
 	// Gap is the final relative gap between incumbent and bound.
 	Gap float64
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes whose LP was solved.
 	Nodes int
 	// DNF reports that the deadline or node limit was hit before the gap
 	// was proven ("did not finish", Table I).
 	DNF bool
+	// SimplexIters counts simplex iterations across all node LPs.
+	SimplexIters int
+	// Refactorizations counts basis refactorizations across all node LPs.
+	Refactorizations int
+	// WarmStartHits counts node LPs re-solved from a parent basis.
+	WarmStartHits int
+	// NodesPruned counts nodes discarded by bound before their LP solve.
+	NodesPruned int
+	// RootObjective, RootDuals and RootX report the root LP relaxation when
+	// its solve reached optimality: the relaxation objective, one dual
+	// multiplier per model constraint (same units and sign convention as
+	// Solution.RowDuals), and the fractional primal point. Callers use the
+	// duals for Lagrangian certificates over supersets of the model and the
+	// fractional point for rounding heuristics. Nil/zero when the root LP
+	// did not finish.
+	RootObjective float64
+	RootDuals     []float64
+	RootX         []float64
 }
 
-// SolveMIP minimizes m with integrality enforced on its integer variables,
-// using LP-relaxation-based branch and bound (best-first on node bounds,
-// branching on the most fractional integer variable).
-func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
-	root, err := solveWithExtra(m, nil, opts.Deadline)
-	if err != nil {
-		return nil, err
+// bbNode is one open branch-and-bound node. fixes is the path's bound
+// tightenings; warm is the parent's basis (shared, immutable), from which
+// the node LP re-solves via dual simplex — branching only changes variable
+// bounds, which preserves dual feasibility of the parent basis.
+type bbNode struct {
+	id         int64
+	bound      float64 // parent LP objective: lower bound on this subtree
+	fixes      []boundFix
+	warm       *basisSnapshot
+	parentObj  float64
+	branchVar  int32 // -1 at the root
+	branchFrac float64
+	branchUp   bool
+}
+
+// nodeHeap is a best-bound priority queue with deterministic tie-breaking
+// on node id.
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(a, b int) bool {
+	if h[a].bound != h[b].bound {
+		return h[a].bound < h[b].bound
 	}
-	if root.Status != Optimal {
-		res := &MIPResult{Solution: *root}
-		if root.Status == IterationLimit && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			res.DNF = true
-		}
-		return res, nil
+	return h[a].id < h[b].id
+}
+func (h nodeHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	nd := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return nd
+}
+
+type fracVal struct {
+	v   int32
+	val float64
+}
+
+// nodeResult is everything the serial reducer needs from one node LP solve.
+type nodeResult struct {
+	status   Status
+	obj      float64
+	fracs    []fracVal // fractional integer variables (ascending index)
+	x        []float64 // rounded solution when integral, else nil
+	floorX   []float64 // floor-heuristic incumbent candidate, else nil
+	floorObj float64
+	duals    []float64 // row duals (root node only)
+	rootX    []float64 // fractional primal point (root node only)
+	snap     *basisSnapshot
+	iters    int
+	refacts  int
+	warm     bool
+}
+
+// bbBatch is the dispatch batch size. It is intentionally independent of
+// Parallelism: batch composition, reduce order, and therefore every search
+// decision are identical no matter how many workers solve the LPs.
+const bbBatch = 8
+
+// SolveMIP minimizes m with integrality enforced on its integer variables,
+// using warm-started parallel branch and bound: best-bound node selection,
+// dual-simplex re-solves from the parent basis, pseudo-cost branching, and
+// a deterministic serial reducer.
+func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
+	if m.NumVars() == 0 {
+		return &MIPResult{Solution: Solution{Status: Optimal}}, nil
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
-	type node struct {
-		extra []Constraint
-		bound float64
+	p := compile(m)
+	span := opts.Span.Child("lp.mip")
+	span.SetInt("vars", int64(p.n))
+	span.SetInt("rows", int64(p.m))
+	span.SetInt("parallelism", int64(workers))
+
+	var intVars []int32
+	for j := 0; j < m.NumVars(); j++ {
+		if m.Integer(j) {
+			intVars = append(intVars, int32(j))
+		}
 	}
+
+	solvers := make([]*sparseSolver, workers)
+	xbufs := make([][]float64, workers)
+	for i := range solvers {
+		solvers[i] = newSparseSolver(p)
+		xbufs[i] = make([]float64, p.n)
+	}
+
 	res := &MIPResult{
 		Solution: Solution{Status: Infeasible},
-		Bound:    root.Objective,
+		Bound:    math.Inf(-1),
 	}
 	res.Objective = math.Inf(1)
-	iters := root.Iterations
 
-	open := []node{{bound: root.Objective}}
-	popBest := func() node {
-		best := 0
-		for i := range open {
-			if open[i].bound < open[best].bound {
-				best = i
+	if opts.Incumbent != nil {
+		obj, xi, err := checkStart(m, opts.Incumbent)
+		if err != nil {
+			span.Discard()
+			return nil, err
+		}
+		res.Solution = Solution{Status: Optimal, X: xi, Objective: obj}
+	}
+
+	// Pseudo-cost state: per-variable and global objective degradation per
+	// unit of fraction, learned from child LP results in reduce order.
+	nVars := m.NumVars()
+	pcDownSum := make([]float64, nVars)
+	pcDownCnt := make([]int, nVars)
+	pcUpSum := make([]float64, nVars)
+	pcUpCnt := make([]int, nVars)
+	var totDownSum, totUpSum float64
+	var totDownCnt, totUpCnt int
+
+	pcEst := func(v int32, up bool) float64 {
+		if up {
+			if pcUpCnt[v] > 0 {
+				return pcUpSum[v] / float64(pcUpCnt[v])
+			}
+			if totUpCnt > 0 {
+				return totUpSum / float64(totUpCnt)
+			}
+		} else {
+			if pcDownCnt[v] > 0 {
+				return pcDownSum[v] / float64(pcDownCnt[v])
+			}
+			if totDownCnt > 0 {
+				return totDownSum / float64(totDownCnt)
 			}
 		}
-		n := open[best]
-		open[best] = open[len(open)-1]
-		open = open[:len(open)-1]
-		return n
+		return 1
 	}
 
+	// effObj is the pruning/gap threshold: the incumbent, or the external
+	// cutoff while no incumbent exists.
+	effObj := func() float64 {
+		if !math.IsInf(res.Objective, 1) {
+			return res.Objective
+		}
+		if opts.Cutoff != 0 {
+			return opts.Cutoff
+		}
+		return math.Inf(1)
+	}
 	gapOK := func() bool {
-		if math.IsInf(res.Objective, 1) {
+		obj := effObj()
+		if math.IsInf(obj, 1) {
 			return false
 		}
-		if res.Objective == 0 {
+		if obj == 0 {
 			return res.Bound >= -1e-9
 		}
-		return (res.Objective-res.Bound)/math.Abs(res.Objective) <= opts.Gap+1e-12
+		return (obj-res.Bound)/math.Abs(obj) <= opts.Gap+1e-12
 	}
 
-	for len(open) > 0 {
+	open := &nodeHeap{}
+	heap.Init(open)
+	root := &bbNode{id: 0, bound: math.Inf(-1), branchVar: -1}
+	if len(opts.CrashAtUpper) > 0 {
+		root.warm = crashBasis(p, opts.CrashAtUpper)
+	}
+	heap.Push(open, root)
+	nextID := int64(1)
+
+	batch := make([]*bbNode, 0, bbBatch)
+	results := make([]nodeResult, bbBatch)
+	unbounded := false
+
+search:
+	for open.Len() > 0 {
 		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
 			res.DNF = true
+			break
+		}
+		// The best open bound is the proven global lower bound.
+		if lowest := (*open)[0].bound; lowest > res.Bound {
+			res.Bound = math.Min(lowest, res.Objective)
+		}
+		if gapOK() {
 			break
 		}
 		if opts.MaxNodes > 0 && res.Nodes >= opts.MaxNodes {
 			res.DNF = true
 			break
 		}
-		// The best open bound is the proven global lower bound.
-		lowest := math.Inf(1)
-		for i := range open {
-			if open[i].bound < lowest {
-				lowest = open[i].bound
-			}
-		}
-		if lowest > res.Bound {
-			res.Bound = math.Min(lowest, res.Objective)
-		}
-		if gapOK() {
-			break
-		}
 
-		nd := popBest()
-		if nd.bound >= res.Objective-1e-12 {
-			continue // dominated by incumbent
+		// Assemble a batch of the best open nodes, pruning dominated ones.
+		batch = batch[:0]
+		limit := bbBatch
+		if opts.MaxNodes > 0 && opts.MaxNodes-res.Nodes < limit {
+			limit = opts.MaxNodes - res.Nodes
 		}
-		sol, err := solveWithExtra(m, nd.extra, opts.Deadline)
-		if err != nil {
-			return nil, err
-		}
-		if sol.Status == IterationLimit && !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			res.DNF = true
-			break
-		}
-		res.Nodes++
-		iters += sol.Iterations
-		if sol.Status != Optimal || sol.Objective >= res.Objective-1e-12 {
-			continue
-		}
-		// Rounding heuristic: flooring integer variables often yields a
-		// feasible incumbent (always, for covering-free problems like
-		// knapsacks), enabling pruning long before a node LP happens to come
-		// out integral.
-		if obj, x, ok := floorFeasible(m, sol.X); ok && obj < res.Objective-1e-12 {
-			res.Solution = Solution{Status: Optimal, X: x, Objective: obj}
-		}
-		// Find the most fractional integer variable.
-		branch := -1
-		worst := 1e-6
-		for i := 0; i < m.NumVars(); i++ {
-			if !m.Integer(i) {
+		cut := effObj()
+		for len(batch) < limit && open.Len() > 0 {
+			nd := heap.Pop(open).(*bbNode)
+			if nd.bound >= cut-1e-12 {
+				res.NodesPruned++
 				continue
 			}
-			f := sol.X[i] - math.Floor(sol.X[i])
-			if d := math.Min(f, 1-f); d > worst {
-				worst, branch = d, i
-			}
+			batch = append(batch, nd)
 		}
-		if branch == -1 {
-			// Integral: new incumbent.
-			res.Solution = *sol
-			res.Solution.Iterations = iters
+		if len(batch) == 0 {
 			continue
 		}
-		v := sol.X[branch]
-		down := append(append([]Constraint(nil), nd.extra...),
-			Constraint{Coeffs: map[int]float64{branch: 1}, Sense: LE, RHS: math.Floor(v)})
-		up := append(append([]Constraint(nil), nd.extra...),
-			Constraint{Coeffs: map[int]float64{branch: 1}, Sense: GE, RHS: math.Ceil(v)})
-		open = append(open, node{down, sol.Objective}, node{up, sol.Objective})
+
+		bsp := span.Child("lp.node_batch")
+		bsp.SetInt("first_node", batch[0].id)
+		bsp.SetInt("size", int64(len(batch)))
+
+		// Solve the batch LPs. Each node is solved entirely by one
+		// goroutine, so its floating-point path is independent of worker
+		// count and scheduling.
+		if workers == 1 || len(batch) == 1 {
+			for i, nd := range batch {
+				results[i] = solveNode(solvers[0], m, p, nd, opts.Deadline, intVars, xbufs[0])
+			}
+		} else {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			nw := workers
+			if nw > len(batch) {
+				nw = len(batch)
+			}
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						i := cursor.Add(1) - 1
+						if i >= int64(len(batch)) {
+							return
+						}
+						results[i] = solveNode(solvers[w], m, p, batch[i], opts.Deadline, intVars, xbufs[w])
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+
+		// Serial reduce, in batch order: all search state mutates here.
+		for i, nd := range batch {
+			r := &results[i]
+			res.Nodes++
+			res.SimplexIters += r.iters
+			res.Refactorizations += r.refacts
+			if r.warm {
+				res.WarmStartHits++
+			}
+			switch r.status {
+			case Infeasible:
+				continue
+			case Unbounded:
+				unbounded = true
+				bsp.End()
+				break search
+			case IterationLimit:
+				res.DNF = true
+				bsp.End()
+				break search
+			}
+
+			// Pseudo-cost update from the parent's branching decision.
+			if nd.branchVar >= 0 {
+				delta := r.obj - nd.parentObj
+				if delta < 0 {
+					delta = 0
+				}
+				denom := nd.branchFrac
+				if nd.branchUp {
+					denom = 1 - nd.branchFrac
+				}
+				if denom < 1e-6 {
+					denom = 1e-6
+				}
+				unit := delta / denom
+				if nd.branchUp {
+					pcUpSum[nd.branchVar] += unit
+					pcUpCnt[nd.branchVar]++
+					totUpSum += unit
+					totUpCnt++
+				} else {
+					pcDownSum[nd.branchVar] += unit
+					pcDownCnt[nd.branchVar]++
+					totDownSum += unit
+					totDownCnt++
+				}
+			}
+
+			if nd.id == 0 && r.duals != nil {
+				res.RootObjective = r.obj
+				res.RootDuals = r.duals
+				res.RootX = r.rootX
+			}
+
+			// Incumbent candidates: an integral relaxation, or the floor
+			// heuristic (flooring integer variables often stays feasible
+			// for covering-free problems like CoPhy's knapsack rows).
+			if r.x != nil && r.obj < res.Objective-1e-12 {
+				res.Solution = Solution{Status: Optimal, X: r.x, Objective: r.obj}
+			}
+			if r.floorX != nil && r.floorObj < res.Objective-1e-12 {
+				res.Solution = Solution{Status: Optimal, X: r.floorX, Objective: r.floorObj}
+			}
+
+			if len(r.fracs) == 0 || r.obj >= effObj()-1e-12 {
+				continue // closed: integral, or dominated after solving
+			}
+
+			// Pseudo-cost branching: maximize the product of estimated
+			// objective degradations; ties to the smallest variable index.
+			best := r.fracs[0]
+			bestScore := math.Inf(-1)
+			for _, fv := range r.fracs {
+				f := fv.val - math.Floor(fv.val)
+				down := pcEst(fv.v, false) * f
+				up := pcEst(fv.v, true) * (1 - f)
+				if down < 1e-6 {
+					down = 1e-6
+				}
+				if up < 1e-6 {
+					up = 1e-6
+				}
+				if score := down * up; score > bestScore {
+					bestScore = score
+					best = fv
+				}
+			}
+			f := best.val - math.Floor(best.val)
+
+			// Effective bounds of the branch variable on this path.
+			blo, bup := p.lo[best.v], p.up[best.v]
+			for _, fx := range nd.fixes {
+				if fx.v == best.v {
+					blo, bup = fx.lo, fx.hi
+				}
+			}
+			downFixes := make([]boundFix, len(nd.fixes), len(nd.fixes)+1)
+			copy(downFixes, nd.fixes)
+			downFixes = append(downFixes, boundFix{best.v, blo, math.Floor(best.val)})
+			upFixes := make([]boundFix, len(nd.fixes), len(nd.fixes)+1)
+			copy(upFixes, nd.fixes)
+			upFixes = append(upFixes, boundFix{best.v, math.Ceil(best.val), bup})
+
+			heap.Push(open, &bbNode{
+				id: nextID, bound: r.obj, fixes: downFixes, warm: r.snap,
+				parentObj: r.obj, branchVar: best.v, branchFrac: f,
+			})
+			heap.Push(open, &bbNode{
+				id: nextID + 1, bound: r.obj, fixes: upFixes, warm: r.snap,
+				parentObj: r.obj, branchVar: best.v, branchFrac: f, branchUp: true,
+			})
+			nextID += 2
+		}
+		bsp.SetFloat("bound", res.Bound)
+		bsp.SetInt("open", int64(open.Len()))
+		bsp.End()
 	}
 
-	if len(open) == 0 && !res.DNF {
+	if unbounded {
+		res.Solution = Solution{Status: Unbounded}
+	}
+	if open.Len() == 0 && !res.DNF && !unbounded {
 		// Search exhausted: the incumbent (if any) is optimal.
 		if !math.IsInf(res.Objective, 1) {
 			res.Bound = res.Objective
@@ -174,8 +477,68 @@ func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
 	} else {
 		res.Gap = math.Inf(1)
 	}
-	res.Iterations = iters
+	res.Iterations = res.SimplexIters
+
+	span.SetInt("nodes", int64(res.Nodes))
+	span.SetInt("nodes_pruned", int64(res.NodesPruned))
+	span.SetInt("simplex_iters", int64(res.SimplexIters))
+	span.SetInt("refactorizations", int64(res.Refactorizations))
+	span.SetInt("warm_start_hits", int64(res.WarmStartHits))
+	span.SetBool("dnf", res.DNF)
+	span.End()
+
+	reg := telemetry.Default()
+	reg.Counter("indexsel_lp_simplex_iterations_total",
+		"Simplex iterations across all branch-and-bound node LPs.").Add(int64(res.SimplexIters))
+	reg.Counter("indexsel_lp_refactorizations_total",
+		"Basis refactorizations across all node LPs.").Add(int64(res.Refactorizations))
+	reg.Counter("indexsel_lp_warm_start_hits_total",
+		"Node LPs re-solved from a parent basis via dual simplex.").Add(int64(res.WarmStartHits))
+	reg.Counter("indexsel_lp_nodes_pruned_total",
+		"Branch-and-bound nodes discarded by bound before their LP solve.").Add(int64(res.NodesPruned))
+
 	return res, nil
+}
+
+// solveNode solves one node LP on a worker-owned solver. It is the only
+// code that runs concurrently; everything it returns is reduced serially.
+func solveNode(s *sparseSolver, m *Model, p *prob, nd *bbNode, deadline time.Time, intVars []int32, xbuf []float64) nodeResult {
+	r0 := s.refacts
+	s.reset(nd.fixes, nd.warm)
+	st := s.optimize(deadline)
+	// The root's crash basis is a starting hint, not a parent re-solve, so it
+	// does not count as a warm-start hit.
+	r := nodeResult{status: st, iters: s.iters, refacts: s.refacts - r0, warm: nd.warm != nil && nd.id != 0}
+	if st != Optimal {
+		return r
+	}
+	r.obj = s.objValue()
+	s.primalX(xbuf)
+	if nd.id == 0 {
+		r.duals = s.rowDuals()
+		r.rootX = append([]float64(nil), xbuf...)
+	}
+	for _, v := range intVars {
+		xv := xbuf[v]
+		f := xv - math.Floor(xv)
+		if f > 1e-6 && f < 1-1e-6 {
+			r.fracs = append(r.fracs, fracVal{v, xv})
+		}
+	}
+	if len(r.fracs) == 0 {
+		x := make([]float64, len(xbuf))
+		copy(x, xbuf)
+		for _, v := range intVars {
+			x[v] = math.Round(x[v])
+		}
+		r.x = x
+		return r
+	}
+	if obj, fx, ok := floorFeasible(m, xbuf); ok {
+		r.floorObj, r.floorX = obj, fx
+	}
+	r.snap = s.snapshot()
+	return r
 }
 
 // floorFeasible floors the integer components of x and reports the resulting
@@ -189,8 +552,8 @@ func floorFeasible(m *Model, x []float64) (float64, []float64, bool) {
 	}
 	for _, c := range m.cons {
 		var lhs float64
-		for j, v := range c.Coeffs {
-			lhs += v * rounded[j]
+		for k, j := range c.Cols {
+			lhs += c.Vals[k] * rounded[j]
 		}
 		switch c.Sense {
 		case LE:
@@ -212,6 +575,53 @@ func floorFeasible(m *Model, x []float64) (float64, []float64, bool) {
 		obj += m.obj[i] * v
 	}
 	return obj, rounded, true
+}
+
+// checkStart validates a caller-supplied starting incumbent: right length,
+// within variable bounds, integral on integer variables, and satisfying every
+// constraint. It returns the point's objective and a defensive copy with the
+// integer components snapped to their nearest integer.
+func checkStart(m *Model, x []float64) (float64, []float64, error) {
+	if len(x) != m.NumVars() {
+		return 0, nil, fmt.Errorf("lp: incumbent has %d entries, model has %d variables", len(x), m.NumVars())
+	}
+	xi := append([]float64(nil), x...)
+	for j, v := range xi {
+		if m.Integer(j) {
+			r := math.Round(v)
+			if math.Abs(v-r) > 1e-6 {
+				return 0, nil, fmt.Errorf("lp: incumbent is fractional on integer variable %s (%g)", m.names[j], v)
+			}
+			xi[j] = r
+		}
+		if xi[j] < -1e-9 || xi[j] > m.upper[j]+1e-9 {
+			return 0, nil, fmt.Errorf("lp: incumbent violates bounds of %s (%g not in [0, %g])", m.names[j], xi[j], m.upper[j])
+		}
+	}
+	for ci, c := range m.cons {
+		var lhs float64
+		for k, j := range c.Cols {
+			lhs += c.Vals[k] * xi[j]
+		}
+		tol := 1e-6 + 1e-9*math.Abs(c.RHS)
+		ok := true
+		switch c.Sense {
+		case LE:
+			ok = lhs <= c.RHS+tol
+		case GE:
+			ok = lhs >= c.RHS-tol
+		case EQ:
+			ok = math.Abs(lhs-c.RHS) <= tol
+		}
+		if !ok {
+			return 0, nil, fmt.Errorf("lp: incumbent violates constraint %d (%g %v %g)", ci, lhs, c.Sense, c.RHS)
+		}
+	}
+	var obj float64
+	for j, v := range xi {
+		obj += m.obj[j] * v
+	}
+	return obj, xi, nil
 }
 
 // RoundedVars returns the integer-variable indices of x whose value rounds

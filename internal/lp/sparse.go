@@ -1,0 +1,136 @@
+package lp
+
+import "math"
+
+// prob is the solver's standard form of a Model:
+//
+//	minimize c·x  subject to  A x + s = b,
+//
+// with structural variables x_j ∈ [lo_j, up_j] (lo 0 unless overridden by
+// branching) and one logical variable s_i per row whose bounds encode the
+// row sense: LE → [0, +Inf), GE → (-Inf, 0], EQ → [0, 0]. Columns
+// 0..n-1 are structural, n..n+m-1 logical; logical column n+i is the unit
+// vector e_i. Rows are scaled by 1/max|coeff| so the variable-upper-bound
+// rows (coefficients ±1) and the byte-denominated memory-budget row live on
+// comparable magnitudes.
+//
+// The matrix is stored twice: column-wise (CSC) for FTRAN/pricing and
+// row-wise (CSR) for the pivot-row gather of the dual simplex. Both are
+// immutable after compile, so branch-and-bound workers share one prob.
+type prob struct {
+	m, n int // rows, structural columns
+
+	// CSC over structural columns.
+	colPtr []int32
+	colRow []int32
+	colVal []float64
+	// CSR over the same entries.
+	rowPtr []int32
+	rowCol []int32
+	rowVal []float64
+
+	b        []float64 // scaled right-hand sides
+	c        []float64 // structural objective (logical costs are zero)
+	lo       []float64 // length n+m
+	up       []float64 // length n+m
+	rowScale []float64 // per-row scale applied at compile (1/max|coeff|)
+
+	cScale float64 // max(1, max|c_j|): dual tolerances scale with it
+}
+
+// compile converts a model into solver standard form.
+func compile(mdl *Model) *prob {
+	n := mdl.NumVars()
+	mRows := len(mdl.cons)
+	p := &prob{
+		m:  mRows,
+		n:  n,
+		b:  make([]float64, mRows),
+		c:  make([]float64, n),
+		lo: make([]float64, n+mRows),
+		up: make([]float64, n+mRows),
+	}
+	copy(p.c, mdl.obj)
+	p.cScale = 1
+	for _, cj := range mdl.obj {
+		if a := math.Abs(cj); a > p.cScale {
+			p.cScale = a
+		}
+	}
+	for j := 0; j < n; j++ {
+		p.lo[j] = 0
+		p.up[j] = mdl.upper[j]
+	}
+
+	// Row scales.
+	scale := make([]float64, mRows)
+	for i, con := range mdl.cons {
+		mx := 0.0
+		for _, v := range con.Vals {
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+		if mx == 0 {
+			mx = 1
+		}
+		scale[i] = 1 / mx
+	}
+	p.rowScale = scale
+
+	// Counts, then fill CSC and CSR.
+	colCnt := make([]int32, n+1)
+	rowCnt := make([]int32, mRows+1)
+	for i, con := range mdl.cons {
+		rowCnt[i+1] = int32(len(con.Cols))
+		for _, j := range con.Cols {
+			colCnt[j+1]++
+		}
+	}
+	for j := 0; j < n; j++ {
+		colCnt[j+1] += colCnt[j]
+	}
+	for i := 0; i < mRows; i++ {
+		rowCnt[i+1] += rowCnt[i]
+	}
+	nnz := int(rowCnt[mRows])
+	p.colPtr = colCnt
+	p.colRow = make([]int32, nnz)
+	p.colVal = make([]float64, nnz)
+	p.rowPtr = rowCnt
+	p.rowCol = make([]int32, nnz)
+	p.rowVal = make([]float64, nnz)
+
+	colNext := make([]int32, n)
+	for j := range colNext {
+		colNext[j] = p.colPtr[j]
+	}
+	for i, con := range mdl.cons {
+		s := scale[i]
+		p.b[i] = con.RHS * s
+		base := p.rowPtr[i]
+		for k, j := range con.Cols {
+			v := con.Vals[k] * s
+			p.rowCol[base+int32(k)] = j
+			p.rowVal[base+int32(k)] = v
+			at := colNext[j]
+			p.colRow[at] = int32(i)
+			p.colVal[at] = v
+			colNext[j] = at + 1
+		}
+		// Logical bounds by sense.
+		li := n + i
+		switch con.Sense {
+		case LE:
+			p.lo[li], p.up[li] = 0, math.Inf(1)
+		case GE:
+			p.lo[li], p.up[li] = math.Inf(-1), 0
+		case EQ:
+			p.lo[li], p.up[li] = 0, 0
+		}
+	}
+	return p
+}
+
+// colNNZ returns the number of stored entries of structural column j.
+func (p *prob) colNNZ(j int32) int32 { return p.colPtr[j+1] - p.colPtr[j] }

@@ -1,0 +1,196 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomLP builds a random bounded LP with mixed senses: feasible-by-design
+// rows sometimes, plainly conflicting rows occasionally. The generator is
+// deterministic per seed so failures reproduce.
+func randomLP(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	n := 4 + rng.Intn(10)
+	for j := 0; j < n; j++ {
+		obj := math.Round(rng.NormFloat64()*40) / 10
+		upper := math.Inf(1)
+		if rng.Intn(2) == 0 {
+			upper = float64(1 + rng.Intn(5))
+		}
+		m.AddVar(obj, fmt.Sprintf("x%d", j), upper, false)
+	}
+	rows := 3 + rng.Intn(8)
+	for i := 0; i < rows; i++ {
+		coeffs := map[int]float64{}
+		terms := 1 + rng.Intn(4)
+		for k := 0; k < terms; k++ {
+			coeffs[rng.Intn(n)] = math.Round(rng.NormFloat64()*30) / 10
+		}
+		sense := Sense(rng.Intn(3))
+		rhs := math.Round(rng.NormFloat64()*80) / 10
+		m.AddConstraint(coeffs, sense, rhs)
+	}
+	return m
+}
+
+// TestSparseMatchesDenseOnRandomLPs is the differential safety net: the
+// sparse revised simplex and the retained dense tableau solver must agree
+// on status and (when optimal) objective over a corpus of random LPs.
+func TestSparseMatchesDenseOnRandomLPs(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		m := randomLP(seed)
+		sparse, err := SolveLP(m)
+		if err != nil {
+			t.Fatalf("seed %d: sparse: %v", seed, err)
+		}
+		dense, err := denseSolveLP(m)
+		if err != nil {
+			t.Fatalf("seed %d: dense: %v", seed, err)
+		}
+		if sparse.Status == IterationLimit || dense.Status == IterationLimit {
+			continue
+		}
+		if sparse.Status != dense.Status {
+			t.Fatalf("seed %d: sparse %v vs dense %v", seed, sparse.Status, dense.Status)
+		}
+		if sparse.Status != Optimal {
+			continue
+		}
+		tol := 1e-6 * (1 + math.Abs(dense.Objective))
+		if !approx(sparse.Objective, dense.Objective, tol) {
+			t.Fatalf("seed %d: objective sparse %v vs dense %v", seed, sparse.Objective, dense.Objective)
+		}
+	}
+}
+
+// TestEqualityOnlyModel exercises the dual phase-1 path: equality rows make
+// the slack basis both primal and dual infeasible for general costs.
+func TestEqualityOnlyModel(t *testing.T) {
+	// min -x + y s.t. x + y = 4, x - y = 1 -> x=2.5, y=1.5, obj -1.
+	m := NewModel()
+	x := m.AddVar(-1, "x", math.Inf(1), false)
+	y := m.AddVar(1, "y", math.Inf(1), false)
+	m.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 4)
+	m.AddConstraint(map[int]float64{x: 1, y: -1}, EQ, 1)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, -1, 1e-7) {
+		t.Fatalf("got %v obj %v, want optimal -1", sol.Status, sol.Objective)
+	}
+	if !approx(sol.X[x], 2.5, 1e-7) || !approx(sol.X[y], 1.5, 1e-7) {
+		t.Fatalf("solution (%v, %v), want (2.5, 1.5)", sol.X[x], sol.X[y])
+	}
+}
+
+// TestEqualityOnlyInfeasible: contradictory equalities must be detected.
+func TestEqualityOnlyInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar(1, "x", math.Inf(1), false)
+	m.AddConstraint(map[int]float64{x: 1}, EQ, 2)
+	m.AddConstraint(map[int]float64{x: 1}, EQ, 3)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+// TestUnboundedWithConstraints: a constrained but unbounded direction.
+func TestUnboundedWithConstraints(t *testing.T) {
+	// min -x s.t. x - y <= 1: x can grow with y.
+	m := NewModel()
+	x := m.AddVar(-1, "x", math.Inf(1), false)
+	y := m.AddVar(0, "y", math.Inf(1), false)
+	m.AddConstraint(map[int]float64{x: 1, y: -1}, LE, 1)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+// TestBealeCyclingLP is the anti-cycling regression: Beale's classic
+// example cycles forever under naive Dantzig pricing with textbook
+// tie-breaking. The stall detector must switch to Bland's rule and finish
+// at the optimum -0.05.
+func TestBealeCyclingLP(t *testing.T) {
+	m := NewModel()
+	x1 := m.AddVar(-0.75, "x1", math.Inf(1), false)
+	x2 := m.AddVar(150, "x2", math.Inf(1), false)
+	x3 := m.AddVar(-0.02, "x3", math.Inf(1), false)
+	x4 := m.AddVar(6, "x4", math.Inf(1), false)
+	m.AddConstraint(map[int]float64{x1: 0.25, x2: -60, x3: -0.04, x4: 9}, LE, 0)
+	m.AddConstraint(map[int]float64{x1: 0.5, x2: -90, x3: -0.02, x4: 3}, LE, 0)
+	m.AddConstraint(map[int]float64{x3: 1}, LE, 1)
+	sol, err := SolveLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Objective, -0.05, 1e-9) {
+		t.Fatalf("got %v obj %v after %d iters, want optimal -0.05",
+			sol.Status, sol.Objective, sol.Iterations)
+	}
+}
+
+// TestWarmStartMatchesColdSolve checks the branch-and-bound re-solve
+// protocol: fixing variable bounds and re-solving from the parent basis by
+// dual simplex must reach the same optimum as a cold solve with the same
+// fixes.
+func TestWarmStartMatchesColdSolve(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		m := randomLP(seed)
+		// Make every variable's range finite so fixes below are valid.
+		for j := range m.upper {
+			if math.IsInf(m.upper[j], 1) {
+				m.upper[j] = float64(2 + rng.Intn(4))
+			}
+		}
+		p := compile(m)
+		warm := newSparseSolver(p)
+		warm.reset(nil, nil)
+		if warm.optimize(time.Time{}) != Optimal {
+			continue
+		}
+		snap := warm.snapshot()
+
+		var fixes []boundFix
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			v := int32(rng.Intn(p.n))
+			if rng.Intn(2) == 0 {
+				fixes = append(fixes, boundFix{v, 0, 0})
+			} else {
+				fixes = append(fixes, boundFix{v, p.up[v], p.up[v]})
+			}
+		}
+
+		warm.reset(fixes, snap)
+		warmStatus := warm.optimize(time.Time{})
+
+		cold := newSparseSolver(p)
+		cold.reset(fixes, nil)
+		coldStatus := cold.optimize(time.Time{})
+
+		if warmStatus != coldStatus {
+			t.Fatalf("seed %d: warm %v vs cold %v", seed, warmStatus, coldStatus)
+		}
+		if warmStatus != Optimal {
+			continue
+		}
+		wObj, cObj := warm.objValue(), cold.objValue()
+		tol := 1e-6 * (1 + math.Abs(cObj))
+		if !approx(wObj, cObj, tol) {
+			t.Fatalf("seed %d: warm obj %v vs cold obj %v", seed, wObj, cObj)
+		}
+	}
+}
