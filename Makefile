@@ -2,15 +2,24 @@
 # matrix (serial/parallel x full/incremental candidate evaluation) as
 # results/BENCH_core.json; `make bench-lp` records branch-and-bound node
 # throughput (sparse warm-started vs dense cold-start) as
-# results/BENCH_lp.json. Both are committed so perf trajectories are tracked
-# across PRs.
+# results/BENCH_lp.json; `make bench-whatif` records the what-if hot-path
+# microbenchmarks (cached/cold probes, applicability checks, selection
+# clones; flat interned tables vs the string-keyed reference) as
+# results/BENCH_whatif.json and fails if the flat cached probe allocates.
+# All are committed so perf trajectories are tracked across PRs.
 
 GO ?= go
 BENCH_COUNT ?= 3
 BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental)$$
 BENCH_LP_PATTERN := ^BenchmarkMIP(Sparse|Dense)$$
+BENCH_WHATIF_PATTERN := ^Benchmark(WhatifCachedProbe|WhatifColdProbe|Applicable|SelectionClone)_
+# Allocation ceilings for the what-if hot path: the flat cached probe must
+# stay allocation-free, and an ID-selection clone is one bitset allocation.
+BENCH_WHATIF_GUARDS := \
+	-max-allocs 'BenchmarkWhatifCachedProbe_Flat=0' \
+	-max-allocs 'BenchmarkSelectionClone_IDSet=1'
 
-.PHONY: build test race bench-core bench-lp
+.PHONY: build test race bench-core bench-lp bench-whatif
 
 build:
 	$(GO) build ./...
@@ -30,3 +39,9 @@ bench-lp:
 	$(GO) test -run '^$$' -bench '$(BENCH_LP_PATTERN)' -benchmem \
 		-count $(BENCH_COUNT) -timeout 60m ./internal/lp \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > results/BENCH_lp.json
+
+bench-whatif:
+	$(GO) test -run '^$$' -bench '$(BENCH_WHATIF_PATTERN)' -benchmem \
+		-count $(BENCH_COUNT) -timeout 30m ./internal/whatif \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson $(BENCH_WHATIF_GUARDS) \
+		> results/BENCH_whatif.json

@@ -189,6 +189,9 @@ func (ad *Advisor) bindMetrics(reg *telemetry.Registry) {
 	reg.SetFunc("indexsel_whatif_index_cache_entries",
 		"Total (query, index) cost-cache entries across shards.",
 		telemetry.KindGauge, func() float64 { return float64(opt.Stats().IndexCacheEntries) })
+	reg.SetFunc("indexsel_whatif_interned_indexes",
+		"Index identities interned by the optimizer (flat-table ID space size).",
+		telemetry.KindGauge, func() float64 { return float64(opt.Stats().InternedIndexes) })
 }
 
 // Budget returns the advisor's effective memory budget in bytes.

@@ -5,16 +5,47 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'BenchmarkSelect' -benchmem . | go run ./cmd/benchjson
+//
+// The repeatable -max-allocs flag turns the converter into a regression
+// guard: `-max-allocs 'BenchmarkWhatifCachedProbe_Flat=0'` exits non-zero if
+// the named benchmark (matched after stripping the -N procs suffix) reports
+// more than the given allocs/op, so CI fails when an allocation sneaks back
+// onto a hot path.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 )
+
+// allocGuards collects repeated -max-allocs Name=N flags.
+type allocGuards map[string]int64
+
+func (g allocGuards) String() string {
+	parts := make([]string, 0, len(g))
+	for name, n := range g {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, n))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g allocGuards) Set(v string) error {
+	name, limit, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want Name=N, got %q", v)
+	}
+	n, err := strconv.ParseInt(limit, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad allocation limit in %q: %v", v, err)
+	}
+	g[name] = n
+	return nil
+}
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -39,6 +70,11 @@ type Output struct {
 }
 
 func main() {
+	guards := allocGuards{}
+	flag.Var(guards, "max-allocs",
+		"repeatable Name=N guard: fail if benchmark Name exceeds N allocs/op")
+	flag.Parse()
+
 	var out Output
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -69,6 +105,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if failed := checkGuards(guards, out.Benchmarks); failed {
+		os.Exit(1)
+	}
+}
+
+// checkGuards applies -max-allocs limits to the parsed results, reporting
+// every violation (and any guard that matched no benchmark, so a renamed
+// benchmark cannot silently disable its guard).
+func checkGuards(guards allocGuards, results []Result) bool {
+	failed := false
+	for name, limit := range guards {
+		matched := false
+		for _, r := range results {
+			if r.Name != name {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp == nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %s has no allocs/op (run with -benchmem)\n", name)
+				failed = true
+			} else if *r.AllocsPerOp > limit {
+				fmt.Fprintf(os.Stderr, "benchjson: %s allocates %d allocs/op, limit %d\n",
+					name, *r.AllocsPerOp, limit)
+				failed = true
+			}
+		}
+		if !matched {
+			fmt.Fprintf(os.Stderr, "benchjson: -max-allocs guard %q matched no benchmark\n", name)
+			failed = true
+		}
+	}
+	return failed
 }
 
 // parseLine parses one benchmark result line, e.g.

@@ -15,6 +15,14 @@
 // indexes to the n best, dropping unused indexes, recording second-best
 // opportunities, and pair construction steps) and the multi-index evaluation
 // of Remark 2 are all supported through Options.
+//
+// The selector works on interned identities: every candidate index is
+// canonicalized to a dense workload.IndexID (shared with the what-if
+// optimizer's interner), the selection is an ID bitset, and the per-candidate
+// cost/maintenance caches are flat tables indexed by ID — the inner loop does
+// no string construction or map hashing. The original string-keyed selector
+// survives in reference.go behind Options.Reference as the differential
+// oracle; both produce bit-identical traces.
 package core
 
 import (
@@ -56,7 +64,8 @@ type Options struct {
 	PairLimit int
 	// MultiIndex evaluates candidate steps with whole-selection what-if
 	// calls instead of the single-index decomposition (Remark 2). Much more
-	// expensive; intended for small workloads.
+	// expensive; intended for small workloads. MultiIndex has a single
+	// implementation; Reference has no effect on it.
 	MultiIndex bool
 	// ExactEvaluation forces a what-if call for every (query, extended
 	// index) pair instead of deriving unchanged costs from the
@@ -84,6 +93,11 @@ type Options struct {
 	// pre-optimization behavior). Results are identical either way; the knob
 	// exists for benchmarking and equivalence testing.
 	DisableIncremental bool
+	// Reference runs the retained string-keyed selector (reference.go)
+	// instead of the interned one. The two are bit-identical by contract —
+	// the differential tests enforce it — so the knob exists for those tests
+	// and for A/B benchmarks, not for production use.
+	Reference bool
 	// Span, if non-nil, is the parent telemetry span (normally the advisor's
 	// per-Select root span); the run records one child span per construction
 	// step under it. Nil disables tracing with zero overhead.
@@ -226,37 +240,67 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, opts Options) (*Result,
 	if opts.Budget <= 0 {
 		return nil, fmt.Errorf("core: budget must be positive (got %d)", opts.Budget)
 	}
-	s := newSelector(w, opt, opts)
 	if opts.MultiIndex {
-		return s.runMultiIndex()
+		return newSelector(w, opt, opts).runMultiIndex()
 	}
-	return s.run()
+	if opts.Reference {
+		return newRefSelector(w, opt, opts).run()
+	}
+	return newSelector(w, opt, opts).run()
 }
 
-// selector holds the incremental state of a run.
+// resolveWorkers returns the effective candidate-evaluation parallelism.
+func resolveWorkers(opts Options) int {
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Reconfig != nil {
+		// The reconfiguration callback is user code of unknown thread-safety
+		// and couples every candidate's gain to the whole selection.
+		workers = 1
+	}
+	return workers
+}
+
+// selector holds the incremental state of a run. All index identities are
+// interned IDs from the what-if optimizer's interner; candidate enumeration
+// (serial) interns, the parallel evaluation phase only reads.
 type selector struct {
 	w    *workload.Workload
 	opt  *whatif.Optimizer
 	opts Options
+	in   *workload.Interner
 
-	queriesWith [][]int              // attr -> IDs of queries accessing it
-	base        []float64            // query -> f_j(0)
-	cost        []float64            // query -> current cost under sel
-	served      []map[string]float64 // query -> selected index key -> f_j(k)
+	queriesWith [][]int32 // attr -> read-query IDs (shared with w)
+	base        []float64 // query -> f_j(0)
+	cost        []float64 // query -> current cost under sel
+	// served maps each query to the selected indexes serving it and their
+	// costs. Selections stay small (tens of indexes), so a small map per
+	// query beats a dense table over all interned IDs.
+	served []map[workload.IndexID]float64
 
-	sel   workload.Selection
-	size  map[string]int64 // selected index key -> p_k
-	fsum  float64          // read component of F(I) = sum b_j cost_j
-	wsum  float64          // write component: sum of maintenance of selected indexes
-	mem   int64            // P(I)
-	recon float64          // R(I) under opts.Reconfig (0 if nil)
+	sel   *workload.IDSelection
+	size  map[workload.IndexID]int64 // selected index -> p_k
+	fsum  float64                    // read component of F(I) = sum b_j cost_j
+	wsum  float64                    // write component: maintenance of selected indexes
+	mem   int64                      // P(I)
+	recon float64                    // R(I) under opts.Reconfig (0 if nil)
 
-	writeQs   []int                  // IDs of Insert/Update templates
-	maintCost *shardedCache[float64] // index key -> frequency-weighted maintenance
+	writeQs []int
 
-	// candCost caches f_j(candidate) aligned with queriesWith[lead]. Sharded:
-	// worker goroutines fill it concurrently during the parallel phase.
-	candCost *shardedCache[[]float64]
+	// candCost caches f_j(candidate) aligned with queriesWith[lead];
+	// maintTab caches the frequency-weighted maintenance cost. Both are flat
+	// tables indexed by interned ID, grown only in serial phases (ensure) and
+	// filled lock-free by the worker goroutines during the parallel phase.
+	candCost costTable
+	maintTab maintTable
+
+	// singles pre-builds the step-(3a) candidate per attribute (nil where no
+	// read query accesses the attribute), so enumerate allocates nothing for
+	// them.
+	singles   []workload.Index
+	singleIDs []workload.IndexID
 
 	// workers is the resolved evaluation parallelism (>= 1).
 	workers int
@@ -277,13 +321,13 @@ type selector struct {
 	steps []Step
 }
 
-// gainKey identifies a candidate step: the step kind plus the key of the
-// index the step would create. For extension steps the pre-extension index
-// is implied (the key minus its last one or two attributes), so the pair is
-// unique across the whole candidate universe.
+// gainKey identifies a candidate step: the step kind plus the interned ID of
+// the index the step would create. For extension steps the pre-extension
+// index is implied (the key minus its last one or two attributes), so the
+// pair is unique across the whole candidate universe.
 type gainKey struct {
 	kind StepKind
-	key  string
+	id   workload.IndexID
 }
 
 // gainEntry is a cached evaluation outcome: the candidate and whether it is
@@ -297,68 +341,76 @@ type gainEntry struct {
 
 func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *selector {
 	s := &selector{
-		w:        w,
-		opt:      opt,
-		opts:     opts,
-		sel:      workload.NewSelection(),
-		size:     make(map[string]int64),
-		candCost: newShardedCache[[]float64](),
+		w:    w,
+		opt:  opt,
+		opts: opts,
+		in:   opt.Interner(),
+		size: make(map[workload.IndexID]int64),
 	}
-	s.workers = opts.Parallelism
-	if s.workers <= 0 {
-		s.workers = runtime.GOMAXPROCS(0)
-	}
-	if opts.Reconfig != nil {
-		// The reconfiguration callback is user code of unknown thread-safety
-		// and couples every candidate's gain to the whole selection.
-		s.workers = 1
-	}
+	s.sel = workload.NewIDSelection(s.in)
+	s.workers = resolveWorkers(opts)
 	if !opts.DisableIncremental && opts.Reconfig == nil {
 		s.gains = make(map[int]map[gainKey]gainEntry)
 	}
-	s.queriesWith = make([][]int, w.NumAttrs())
+	s.queriesWith = make([][]int32, w.NumAttrs())
+	for a := range s.queriesWith {
+		s.queriesWith[a] = w.ReadQueriesWithAttr(a)
+	}
 	for _, q := range w.Queries {
 		if q.IsWrite() {
 			s.writeQs = append(s.writeQs, q.ID)
 		}
-		if q.Kind == workload.Insert {
-			continue // inserts have no read path an index could serve
-		}
-		for _, a := range q.Attrs {
-			s.queriesWith[a] = append(s.queriesWith[a], q.ID)
-		}
 	}
-	s.maintCost = newShardedCache[float64]()
 	s.base = make([]float64, w.NumQueries())
 	s.cost = make([]float64, w.NumQueries())
-	s.served = make([]map[string]float64, w.NumQueries())
+	s.served = make([]map[workload.IndexID]float64, w.NumQueries())
 	for _, q := range w.Queries {
 		s.base[q.ID] = opt.BaseCost(q)
 		s.cost[q.ID] = s.base[q.ID]
-		s.served[q.ID] = make(map[string]float64)
+		s.served[q.ID] = make(map[workload.IndexID]float64)
 		s.fsum += float64(q.Freq) * s.base[q.ID]
 	}
+	s.singles = make([]workload.Index, w.NumAttrs())
+	s.singleIDs = make([]workload.IndexID, w.NumAttrs())
+	for _, a := range w.Attrs() {
+		if len(s.queriesWith[a.ID]) == 0 {
+			continue
+		}
+		idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
+		s.singles[a.ID] = idx
+		s.singleIDs[a.ID] = s.in.Intern(idx)
+	}
+	s.ensure()
 	if opts.Reconfig != nil {
-		s.recon = opts.Reconfig(s.sel)
+		s.recon = opts.Reconfig(s.sel.Selection())
 	}
 	return s
 }
 
+// ensure grows the flat per-ID tables to cover every ID interned so far.
+// Must be called from a serial phase after any batch of interning (table
+// growth and the workers' lock-free accesses must not overlap).
+func (s *selector) ensure() {
+	n := s.in.Len()
+	s.candCost.grow(n)
+	s.maintTab.grow(n)
+}
+
 // costsFor returns f_j(k) for the queries in queriesWith[k.Leading()],
-// computing and caching them on first use. Safe for concurrent use: workers
-// evaluating distinct candidates share the cache; a racing recomputation of
-// the same key produces the identical (deterministic) slice.
-func (s *selector) costsFor(k workload.Index) []float64 {
-	key := k.Key()
-	if c, ok := s.candCost.get(key); ok {
+// computing and caching them on first use; id must be k's interned ID. Safe
+// for concurrent use: workers evaluating distinct candidates share the
+// table; a racing recomputation of the same ID produces the identical
+// (deterministic) slice.
+func (s *selector) costsFor(k workload.Index, id workload.IndexID) []float64 {
+	if c, ok := s.candCost.get(id); ok {
 		return c
 	}
 	qs := s.queriesWith[k.Leading()]
 	c := make([]float64, len(qs))
 	for i, qid := range qs {
-		c[i] = s.opt.CostWithIndex(s.w.Queries[qid], k)
+		c[i] = s.opt.CostWithInterned(s.w.Queries[qid], k, id)
 	}
-	s.candCost.put(key, c)
+	s.candCost.put(id, c)
 	return c
 }
 
@@ -367,15 +419,14 @@ func (s *selector) costsFor(k workload.Index) []float64 {
 // query's coverable prefix is unchanged by the extension — those queries
 // "do not change and have already been determined previously"
 // (Section III-A), so no what-if call is spent on them.
-func (s *selector) extCostsFor(base, ext workload.Index) []float64 {
-	key := ext.Key()
-	if c, ok := s.candCost.get(key); ok {
+func (s *selector) extCostsFor(base workload.Index, baseID workload.IndexID, ext workload.Index, extID workload.IndexID) []float64 {
+	if c, ok := s.candCost.get(extID); ok {
 		return c
 	}
 	if s.opts.ExactEvaluation {
-		return s.costsFor(ext)
+		return s.costsFor(ext, extID)
 	}
-	baseCosts := s.costsFor(base)
+	baseCosts := s.costsFor(base, baseID)
 	qs := s.queriesWith[ext.Leading()]
 	c := make([]float64, len(qs))
 	for i, qid := range qs {
@@ -383,53 +434,53 @@ func (s *selector) extCostsFor(base, ext workload.Index) []float64 {
 		if len(workload.CoverablePrefix(q, ext)) == len(workload.CoverablePrefix(q, base)) {
 			c[i] = baseCosts[i]
 		} else {
-			c[i] = s.opt.CostWithIndex(q, ext)
+			c[i] = s.opt.CostWithInterned(q, ext, extID)
 		}
 	}
-	s.candCost.put(key, c)
+	s.candCost.put(extID, c)
 	return c
 }
 
 // maintFor returns the frequency-weighted maintenance cost the selected
-// write templates impose on index k, cached per index key.
-func (s *selector) maintFor(k workload.Index) float64 {
-	key := k.Key()
-	if c, ok := s.maintCost.get(key); ok {
+// write templates impose on index k, cached per interned ID.
+func (s *selector) maintFor(k workload.Index, id workload.IndexID) float64 {
+	if c, ok := s.maintTab.get(id); ok {
 		return c
 	}
 	var cost float64
 	for _, qid := range s.writeQs {
 		q := s.w.Queries[qid]
-		cost += float64(q.Freq) * s.opt.MaintenanceCost(q, k)
+		cost += float64(q.Freq) * s.opt.MaintenanceCostInterned(q, k, id)
 	}
-	s.maintCost.put(key, cost)
+	s.maintTab.put(id, cost)
 	return cost
 }
 
 // total returns the tracked F(I) + maintenance + R(I).
 func (s *selector) total() float64 { return s.fsum + s.wsum + s.recon }
 
-func (s *selector) indexSize(k workload.Index) int64 {
-	return s.opt.IndexSize(k)
+func (s *selector) indexSize(k workload.Index, id workload.IndexID) int64 {
+	return s.opt.IndexSizeInterned(k, id)
 }
 
 // candidate is a potential construction step under evaluation.
 type candidate struct {
-	kind     StepKind
-	index    workload.Index
-	key      string // index.Key(), precomputed for tie-breaking
-	replaced *workload.Index
-	gain     float64 // cost reduction F(I)+R(I) - F(Ĩ) - R(Ĩ)
-	deltaMem int64
-	ratio    float64
+	kind       StepKind
+	index      workload.Index
+	id         workload.IndexID
+	replaced   *workload.Index
+	replacedID workload.IndexID
+	gain       float64 // cost reduction F(I)+R(I) - F(Ĩ) - R(Ĩ)
+	deltaMem   int64
+	ratio      float64
 }
 
 // evalNew computes the gain of adding idx as a brand-new index. It is a pure
 // function of the frozen per-step state (cost, served, selection sizes) and
 // may run on any worker goroutine; selection-membership filtering happens in
 // enumerate().
-func (s *selector) evalNew(idx workload.Index, kind StepKind) (candidate, bool) {
-	costs := s.costsFor(idx)
+func (s *selector) evalNew(idx workload.Index, id workload.IndexID, kind StepKind) (candidate, bool) {
+	costs := s.costsFor(idx, id)
 	qs := s.queriesWith[idx.Leading()]
 	var gain float64
 	for i, qid := range qs {
@@ -437,17 +488,17 @@ func (s *selector) evalNew(idx workload.Index, kind StepKind) (candidate, bool) 
 			gain += float64(s.w.Queries[qid].Freq) * (s.cost[qid] - c)
 		}
 	}
-	gain -= s.maintFor(idx)
-	dm := s.indexSize(idx)
+	gain -= s.maintFor(idx, id)
+	dm := s.indexSize(idx, id)
 	if s.opts.Reconfig != nil {
 		next := s.sel.Clone()
-		next.Add(idx)
-		gain += s.recon - s.opts.Reconfig(next)
+		next.Add(id)
+		gain += s.recon - s.opts.Reconfig(next.Selection())
 	}
 	if gain <= 0 || dm <= 0 {
 		return candidate{}, false
 	}
-	return candidate{kind: kind, index: idx, key: idx.Key(), gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+	return candidate{kind: kind, index: idx, id: id, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
 }
 
 // evalExtend computes the gain of morphing selected index k into k with
@@ -455,16 +506,15 @@ func (s *selector) evalNew(idx workload.Index, kind StepKind) (candidate, bool) 
 // cannot cover the new attributes (wider keys probe slower), so the gain
 // accounts for replacements, not just improvements. Like evalNew it is safe
 // to run on any worker goroutine.
-func (s *selector) evalExtend(k workload.Index, ext workload.Index, kind StepKind) (candidate, bool) {
-	kKey := k.Key()
-	costs := s.extCostsFor(k, ext)
+func (s *selector) evalExtend(k workload.Index, kID workload.IndexID, ext workload.Index, extID workload.IndexID, kind StepKind) (candidate, bool) {
+	costs := s.extCostsFor(k, kID, ext, extID)
 	qs := s.queriesWith[k.Leading()]
 	var gain float64
 	for i, qid := range qs {
 		old := s.cost[qid]
 		niu := s.base[qid]
-		for key, c := range s.served[qid] {
-			if key == kKey {
+		for sid, c := range s.served[qid] {
+			if sid == kID {
 				continue
 			}
 			if c < niu {
@@ -476,23 +526,24 @@ func (s *selector) evalExtend(k workload.Index, ext workload.Index, kind StepKin
 		}
 		gain += float64(s.w.Queries[qid].Freq) * (old - niu)
 	}
-	gain -= s.maintFor(ext) - s.maintFor(k)
-	dm := s.indexSize(ext) - s.size[kKey]
+	gain -= s.maintFor(ext, extID) - s.maintFor(k, kID)
+	dm := s.indexSize(ext, extID) - s.size[kID]
 	if s.opts.Reconfig != nil {
 		next := s.sel.Clone()
-		next.Remove(k)
-		next.Add(ext)
-		gain += s.recon - s.opts.Reconfig(next)
+		next.Remove(kID)
+		next.Add(extID)
+		gain += s.recon - s.opts.Reconfig(next.Selection())
 	}
 	if gain <= 0 || dm <= 0 {
 		return candidate{}, false
 	}
 	kc := k
-	return candidate{kind: kind, index: ext, key: ext.Key(), replaced: &kc, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+	return candidate{kind: kind, index: ext, id: extID, replaced: &kc, replacedID: kID, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
 }
 
 // better reports whether a should be preferred over b (higher ratio; ties
-// break deterministically by kind then key).
+// break deterministically by kind then canonical key order — identical to
+// the reference selector's string compare, see workload.CompareIndexKeys).
 func better(a, b candidate) bool {
 	if a.ratio != b.ratio {
 		return a.ratio > b.ratio
@@ -500,7 +551,7 @@ func better(a, b candidate) bool {
 	if a.kind != b.kind {
 		return a.kind < b.kind
 	}
-	return a.key < b.key
+	return workload.CompareIndexKeys(a.index, b.index) < 0
 }
 
 // evalTask is one candidate step awaiting evaluation. For extension kinds,
@@ -508,22 +559,47 @@ func better(a, b candidate) bool {
 type evalTask struct {
 	kind    StepKind
 	index   workload.Index
+	id      workload.IndexID
 	base    workload.Index
+	baseID  workload.IndexID
 	hasBase bool
 }
 
 func (s *selector) evalCandidate(t evalTask) (candidate, bool) {
 	if t.hasBase {
-		return s.evalExtend(t.base, t.index, t.kind)
+		return s.evalExtend(t.base, t.baseID, t.index, t.id, t.kind)
 	}
-	return s.evalNew(t.index, t.kind)
+	return s.evalNew(t.index, t.id, t.kind)
+}
+
+// selEntry pairs a selected index with its ID for iteration in canonical
+// key order.
+type selEntry struct {
+	id workload.IndexID
+	k  workload.Index
+}
+
+// sortedSel returns the selection in canonical key order — the iteration
+// order every order-sensitive loop (enumerate, dropUnused) uses, matching
+// the reference selector's Selection.Sorted.
+func (s *selector) sortedSel() []selEntry {
+	out := make([]selEntry, 0, s.sel.Len())
+	for _, id := range s.sel.IDs() {
+		out = append(out, selEntry{id: id, k: s.in.Index(id)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return workload.CompareIndexKeys(out[i].k, out[j].k) < 0
+	})
+	return out
 }
 
 // enumerate lists every candidate step of the current construction step in a
 // fixed, deterministic order: step (3a) singles, step (3b) one-attribute
 // extensions, then the Remark 1.4 pair universe. Cheap state-dependent
 // filters (TopNSingle, empty query sets, already-selected indexes) are
-// applied here, outside both the gain cache and the parallel phase.
+// applied here, outside both the gain cache and the parallel phase. All
+// interning happens here, serially; callers must ensure() before fanning the
+// tasks out to workers.
 func (s *selector) enumerate() []evalTask {
 	var tasks []evalTask
 
@@ -535,42 +611,44 @@ func (s *selector) enumerate() []evalTask {
 		if len(s.queriesWith[a.ID]) == 0 {
 			continue
 		}
-		idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
-		if s.sel.Has(idx) {
+		if s.sel.Has(s.singleIDs[a.ID]) {
 			continue
 		}
-		tasks = append(tasks, evalTask{kind: StepNewIndex, index: idx})
+		tasks = append(tasks, evalTask{kind: StepNewIndex, index: s.singles[a.ID], id: s.singleIDs[a.ID]})
 	}
 
 	// Step (3b): append one attribute to each selected index.
-	for _, k := range s.sel.Sorted() {
-		for _, a := range s.w.Tables[k.Table].Attrs {
-			if k.Contains(a) {
+	for _, e := range s.sortedSel() {
+		for _, a := range s.w.Tables[e.k.Table].Attrs {
+			if e.k.Contains(a) {
 				continue
 			}
-			ext := k.Append(a)
-			if s.sel.Has(ext) {
+			ext := e.k.Append(a)
+			extID := s.in.Intern(ext)
+			if s.sel.Has(extID) {
 				continue
 			}
-			tasks = append(tasks, evalTask{kind: StepExtend, index: ext, base: k, hasBase: true})
+			tasks = append(tasks, evalTask{kind: StepExtend, index: ext, id: extID, base: e.k, baseID: e.id, hasBase: true})
 		}
 	}
 
 	if s.opts.PairSteps {
 		for _, p := range s.pairUniverse() {
 			idx := workload.Index{Table: s.w.TableOf(p[0]), Attrs: []int{p[0], p[1]}}
-			if !s.sel.Has(idx) {
-				tasks = append(tasks, evalTask{kind: StepNewPair, index: idx})
+			id := s.in.Intern(idx)
+			if !s.sel.Has(id) {
+				tasks = append(tasks, evalTask{kind: StepNewPair, index: idx, id: id})
 			}
-			for _, k := range s.sel.Sorted() {
-				if k.Table != idx.Table || k.Contains(p[0]) || k.Contains(p[1]) {
+			for _, e := range s.sortedSel() {
+				if e.k.Table != idx.Table || e.k.Contains(p[0]) || e.k.Contains(p[1]) {
 					continue
 				}
-				ext := k.Append(p[0]).Append(p[1])
-				if s.sel.Has(ext) {
+				ext := e.k.Append(p[0]).Append(p[1])
+				extID := s.in.Intern(ext)
+				if s.sel.Has(extID) {
 					continue
 				}
-				tasks = append(tasks, evalTask{kind: StepExtendPair, index: ext, base: k, hasBase: true})
+				tasks = append(tasks, evalTask{kind: StepExtendPair, index: ext, id: extID, base: e.k, baseID: e.id, hasBase: true})
 			}
 		}
 	}
@@ -585,6 +663,7 @@ func (s *selector) enumerate() []evalTask {
 // is identical for every Parallelism setting.
 func (s *selector) collect() (best, second candidate, haveSecond, ok bool) {
 	tasks := s.enumerate()
+	s.ensure() // cover freshly interned candidates before workers start
 	results := make([]gainEntry, len(tasks))
 	pending := make([]int, 0, len(tasks))
 	for i, t := range tasks {
@@ -633,7 +712,7 @@ func (s *selector) cachedGain(t evalTask) (gainEntry, bool) {
 	if !ok {
 		return gainEntry{}, false
 	}
-	e, ok := bucket[gainKey{t.kind, t.index.Key()}]
+	e, ok := bucket[gainKey{t.kind, t.id}]
 	return e, ok
 }
 
@@ -647,7 +726,7 @@ func (s *selector) storeGain(t evalTask, e gainEntry) {
 		bucket = make(map[gainKey]gainEntry)
 		s.gains[lead] = bucket
 	}
-	bucket[gainKey{t.kind, t.index.Key()}] = e
+	bucket[gainKey{t.kind, t.id}] = e
 }
 
 // invalidateGains drops the cached gains that an applied (or dropped) index
@@ -716,12 +795,12 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 	before, memBefore := s.total(), s.mem
 
 	if c.replaced != nil {
-		s.removeIndex(*c.replaced)
+		s.removeIndex(*c.replaced, c.replacedID)
 	}
-	s.addIndex(c.index)
+	s.addIndex(c.index, c.id)
 
 	if s.opts.Reconfig != nil {
-		s.recon = s.opts.Reconfig(s.sel)
+		s.recon = s.opts.Reconfig(s.sel.Selection())
 	}
 	step := Step{
 		Kind:        c.kind,
@@ -743,17 +822,16 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 }
 
 // addIndex inserts idx into the selection and refreshes affected queries.
-func (s *selector) addIndex(idx workload.Index) {
-	key := idx.Key()
+func (s *selector) addIndex(idx workload.Index, id workload.IndexID) {
 	s.invalidateGains(idx.Leading())
-	s.sel.Add(idx)
-	sz := s.indexSize(idx)
-	s.size[key] = sz
+	s.sel.Add(id)
+	sz := s.indexSize(idx, id)
+	s.size[id] = sz
 	s.mem += sz
-	s.wsum += s.maintFor(idx)
-	costs := s.costsFor(idx)
+	s.wsum += s.maintFor(idx, id)
+	costs := s.costsFor(idx, id)
 	for i, qid := range s.queriesWith[idx.Leading()] {
-		s.served[qid][key] = costs[i]
+		s.served[qid][id] = costs[i]
 		if costs[i] < s.cost[qid] {
 			s.fsum -= float64(s.w.Queries[qid].Freq) * (s.cost[qid] - costs[i])
 			s.cost[qid] = costs[i]
@@ -763,18 +841,17 @@ func (s *selector) addIndex(idx workload.Index) {
 
 // removeIndex drops idx from the selection and re-derives affected queries'
 // costs from their remaining served entries.
-func (s *selector) removeIndex(idx workload.Index) {
-	key := idx.Key()
+func (s *selector) removeIndex(idx workload.Index, id workload.IndexID) {
 	s.invalidateGains(idx.Leading())
-	s.sel.Remove(idx)
-	s.mem -= s.size[key]
-	s.wsum -= s.maintFor(idx)
-	delete(s.size, key)
+	s.sel.Remove(id)
+	s.mem -= s.size[id]
+	s.wsum -= s.maintFor(idx, id)
+	delete(s.size, id)
 	for _, qid := range s.queriesWith[idx.Leading()] {
-		if _, ok := s.served[qid][key]; !ok {
+		if _, ok := s.served[qid][id]; !ok {
 			continue
 		}
-		delete(s.served[qid], key)
+		delete(s.served[qid], id)
 		niu := s.base[qid]
 		for _, c := range s.served[qid] {
 			if c < niu {
@@ -795,18 +872,17 @@ func (s *selector) removeIndex(idx workload.Index) {
 func (s *selector) dropUnused() {
 	for changed := true; changed; {
 		changed = false
-		for _, k := range s.sel.Sorted() {
-			key := k.Key()
-			// readDelta: how much the read cost would grow without k.
+		for _, e := range s.sortedSel() {
+			// readDelta: how much the read cost would grow without e.k.
 			var readDelta float64
-			for _, qid := range s.queriesWith[k.Leading()] {
-				c, ok := s.served[qid][key]
+			for _, qid := range s.queriesWith[e.k.Leading()] {
+				c, ok := s.served[qid][e.id]
 				if !ok || c > s.cost[qid] {
 					continue
 				}
 				alt := s.base[qid]
-				for okey, oc := range s.served[qid] {
-					if okey != key && oc < alt {
+				for oid, oc := range s.served[qid] {
+					if oid != e.id && oc < alt {
 						alt = oc
 					}
 				}
@@ -814,17 +890,17 @@ func (s *selector) dropUnused() {
 					readDelta += float64(s.w.Queries[qid].Freq) * (alt - s.cost[qid])
 				}
 			}
-			if readDelta > s.maintFor(k)+1e-9 {
+			if readDelta > s.maintFor(e.k, e.id)+1e-9 {
 				continue // still worth keeping
 			}
 			before, memBefore := s.total(), s.mem
-			s.removeIndex(k)
+			s.removeIndex(e.k, e.id)
 			if s.opts.Reconfig != nil {
-				s.recon = s.opts.Reconfig(s.sel)
+				s.recon = s.opts.Reconfig(s.sel.Selection())
 			}
 			s.steps = append(s.steps, Step{
 				Kind:       StepDrop,
-				Index:      k,
+				Index:      e.k,
 				CostBefore: before,
 				CostAfter:  s.total(),
 				MemBefore:  memBefore,
@@ -851,15 +927,15 @@ func (s *selector) initTopNSingle() {
 		if len(s.queriesWith[a.ID]) == 0 {
 			continue
 		}
-		idx := workload.Index{Table: a.Table, Attrs: []int{a.ID}}
-		costs := s.costsFor(idx)
+		idx, id := s.singles[a.ID], s.singleIDs[a.ID]
+		costs := s.costsFor(idx, id)
 		var gain float64
 		for i, qid := range s.queriesWith[a.ID] {
 			if c := costs[i]; c < s.base[qid] {
 				gain += float64(s.w.Queries[qid].Freq) * (s.base[qid] - c)
 			}
 		}
-		if sz := s.indexSize(idx); sz > 0 && gain > 0 {
+		if sz := s.indexSize(idx, id); sz > 0 && gain > 0 {
 			all = append(all, ranked{a.ID, gain / float64(sz)})
 		}
 	}
@@ -894,14 +970,14 @@ func (s *selector) run() (*Result, error) {
 			break
 		}
 		s.apply(best, second, haveSecond)
-		s.finishStep(sp, stepStart)
+		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
 		if s.opts.DropUnused {
 			s.dropUnused()
 		}
 	}
 	res := &Result{
 		Steps:       s.steps,
-		Selection:   s.sel,
+		Selection:   s.sel.Selection(),
 		InitialCost: initial,
 		Cost:        s.total(),
 		Memory:      s.mem,
@@ -909,14 +985,13 @@ func (s *selector) run() (*Result, error) {
 		Evaluated:   s.totalEvaluated,
 		CacheServed: s.totalCached,
 	}
-	s.logRun(res)
+	logRun(res)
 	return res, nil
 }
 
-// finishStep records the just-applied step's telemetry: its child span and
+// finishStep records a just-applied step's telemetry: its child span and
 // the package metrics. One call per construction step — never per candidate.
-func (s *selector) finishStep(sp *telemetry.Span, start time.Time) {
-	st := &s.steps[len(s.steps)-1]
+func finishStep(sp *telemetry.Span, start time.Time, st *Step, workers int) {
 	mSteps.Inc()
 	mStepDur.Observe(time.Since(start).Seconds())
 	mEvaluated.Add(int64(st.Evaluated))
@@ -933,13 +1008,13 @@ func (s *selector) finishStep(sp *telemetry.Span, start time.Time) {
 	sp.SetInt("candidates", int64(st.Candidates))
 	sp.SetInt("evaluated", int64(st.Evaluated))
 	sp.SetInt("cache_served", int64(st.CacheServed))
-	sp.SetInt("workers", int64(s.workers))
+	sp.SetInt("workers", int64(workers))
 	sp.End()
 }
 
 // logRun emits the run-level structured log line. The Enabled guard keeps
 // the disabled default free of argument boxing.
-func (s *selector) logRun(res *Result) {
+func logRun(res *Result) {
 	mRuns.Inc()
 	if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
 		lg.Debug("extend run complete",
@@ -976,7 +1051,7 @@ func (s *selector) runMultiIndex() (*Result, error) {
 	selSize := func(sel workload.Selection) int64 {
 		var p int64
 		for _, k := range sel {
-			p += s.indexSize(k)
+			p += s.opt.IndexSize(k)
 		}
 		return p
 	}
@@ -1070,7 +1145,7 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		cur, curCost, curMem = best.sel, bestCost, bestMem
 		s.steps = steps
 		s.totalEvaluated += evaluated
-		s.finishStep(sp, stepStart)
+		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
 	}
 	res := &Result{
 		Steps:       steps,
@@ -1081,6 +1156,6 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		Workers:     1,
 		Evaluated:   s.totalEvaluated,
 	}
-	s.logRun(res)
+	logRun(res)
 	return res, nil
 }

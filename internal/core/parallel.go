@@ -9,8 +9,11 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/workload"
 )
 
 // evalPending evaluates tasks[i] for every i in pending, storing into
@@ -47,6 +50,73 @@ func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []
 		}()
 	}
 	wg.Wait()
+}
+
+// tablePage is the entry count of one page of the flat per-ID tables below.
+// Pages make growth (ensure, serial) an append of a pointer instead of a
+// reallocation, so slices of atomic values are never copied (vet copylocks)
+// and entries already published keep their addresses while workers read them.
+const tablePage = 1024
+
+// costTable maps interned index IDs to their cached per-query cost slice
+// (aligned with queriesWith[lead]). Entries are filled lock-free by worker
+// goroutines via atomic pointers; racing fills of the same ID store identical
+// slices (deterministic sources), so either winning is fine. grow() may only
+// run in serial phases.
+type costTable struct {
+	pages []*[tablePage]atomic.Pointer[[]float64]
+}
+
+func (t *costTable) grow(n int) {
+	for len(t.pages)*tablePage < n {
+		t.pages = append(t.pages, new([tablePage]atomic.Pointer[[]float64]))
+	}
+}
+
+func (t *costTable) get(id workload.IndexID) ([]float64, bool) {
+	p := t.pages[id/tablePage][id%tablePage].Load()
+	if p == nil {
+		return nil, false
+	}
+	return *p, true
+}
+
+func (t *costTable) put(id workload.IndexID, c []float64) {
+	t.pages[id/tablePage][id%tablePage].Store(&c)
+}
+
+// maintUnset marks an empty maintTable entry. It is the all-ones NaN bit
+// pattern, which no deterministic cost source produces (real costs are
+// non-NaN, and math.NaN() has a different payload).
+const maintUnset = ^uint64(0)
+
+// maintTable maps interned index IDs to their cached frequency-weighted
+// maintenance cost, stored as Float64bits in lock-free atomics. Same phase
+// discipline as costTable.
+type maintTable struct {
+	pages []*[tablePage]atomic.Uint64
+}
+
+func (t *maintTable) grow(n int) {
+	for len(t.pages)*tablePage < n {
+		p := new([tablePage]atomic.Uint64)
+		for i := range p {
+			p[i].Store(maintUnset) // serial phase: plain init before publish
+		}
+		t.pages = append(t.pages, p)
+	}
+}
+
+func (t *maintTable) get(id workload.IndexID) (float64, bool) {
+	bits := t.pages[id/tablePage][id%tablePage].Load()
+	if bits == maintUnset {
+		return 0, false
+	}
+	return math.Float64frombits(bits), true
+}
+
+func (t *maintTable) put(id workload.IndexID, v float64) {
+	t.pages[id/tablePage][id%tablePage].Store(math.Float64bits(v))
 }
 
 // cacheShards is the shard count of the string-keyed caches. 32 keeps lock

@@ -30,7 +30,6 @@ package costmodel
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/workload"
 )
@@ -101,14 +100,31 @@ func (m *Model) probeCost(n int64, prefix []int) (cost, resultRows float64) {
 // (in ascending selectivity order) over r candidate rows, and the remaining
 // candidate rows afterwards.
 func (m *Model) scanCost(attrs []int, r float64) (cost, remaining float64) {
-	ordered := append([]int(nil), attrs...)
-	sort.Slice(ordered, func(i, j int) bool {
-		si, sj := m.w.Attr(ordered[i]).Selectivity(), m.w.Attr(ordered[j]).Selectivity()
-		if si != sj {
-			return si < sj
+	// Insertion sort into a stack buffer: queries touch a handful of
+	// attributes, and this sits on the what-if hot path where the previous
+	// copy + sort.Slice (two allocations, interface calls) dominated the
+	// profile. The comparator totally orders by (selectivity, id), so the
+	// result matches the previous sort exactly.
+	var buf [12]int
+	ordered := buf[:0]
+	if len(attrs) > len(buf) {
+		ordered = make([]int, 0, len(attrs))
+	}
+	for _, a := range attrs {
+		sa := m.w.Attr(a).Selectivity()
+		i := len(ordered)
+		ordered = append(ordered, a)
+		for i > 0 {
+			p := ordered[i-1]
+			sp := m.w.Attr(p).Selectivity()
+			if sp < sa || (sp == sa && p < a) {
+				break
+			}
+			ordered[i] = p
+			i--
 		}
-		return ordered[i] < ordered[j]
-	})
+		ordered[i] = a
+	}
 	for _, a := range ordered {
 		attr := m.w.Attr(a)
 		cost += r * float64(attr.ValueSize)
@@ -289,16 +305,31 @@ func coverableWithin(attrs []int, k workload.Index) []int {
 }
 
 // remainingAttrs returns attrs minus the covered ones, preserving order.
+// Both lists are tiny (query attribute counts), so nested loops beat
+// building a set — and allocate only when something is actually removed.
 func remainingAttrs(attrs, covered []int) []int {
-	cov := make(map[int]bool, len(covered))
-	for _, a := range covered {
-		cov[a] = true
-	}
 	var out []int
-	for _, a := range attrs {
-		if !cov[a] {
+	for i, a := range attrs {
+		hit := false
+		for _, c := range covered {
+			if a == c {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			if out == nil {
+				out = make([]int, i, len(attrs))
+				copy(out, attrs[:i])
+			}
+			continue
+		}
+		if out != nil {
 			out = append(out, a)
 		}
+	}
+	if out == nil {
+		return attrs
 	}
 	return out
 }

@@ -50,9 +50,13 @@ type MeasuredSource struct {
 
 	queries []PointQuery
 
+	// in canonicalizes index identities so the build cache below is keyed by
+	// dense IDs — one Intern per request instead of a Key() string build.
+	in *workload.Interner
+
 	mu       sync.Mutex
-	indexes  map[string]*SecondaryIndex
-	building map[string]chan struct{} // in-flight builds, closed when done
+	indexes  map[workload.IndexID]*SecondaryIndex
+	building map[workload.IndexID]chan struct{} // in-flight builds, closed when done
 }
 
 // NewMeasuredSource instantiates every workload template into an executable
@@ -61,8 +65,9 @@ func NewMeasuredSource(db *DB, seed int64) *MeasuredSource {
 	ms := &MeasuredSource{
 		db:       db,
 		Repeats:  3,
-		indexes:  make(map[string]*SecondaryIndex),
-		building: make(map[string]chan struct{}),
+		in:       workload.NewInterner(),
+		indexes:  make(map[workload.IndexID]*SecondaryIndex),
+		building: make(map[workload.IndexID]chan struct{}),
 	}
 	for _, q := range db.w.Queries {
 		ms.queries = append(ms.queries, db.Instantiate(q, seed))
@@ -75,21 +80,21 @@ func NewMeasuredSource(db *DB, seed int64) *MeasuredSource {
 // are deduplicated: the first caller builds, later callers wait on the
 // in-flight build instead of sorting a duplicate permutation.
 func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
-	key := k.Key()
+	id := ms.in.Intern(k)
 	for {
 		ms.mu.Lock()
-		if ix, ok := ms.indexes[key]; ok {
+		if ix, ok := ms.indexes[id]; ok {
 			ms.mu.Unlock()
 			return ix
 		}
-		if inflight, ok := ms.building[key]; ok {
+		if inflight, ok := ms.building[id]; ok {
 			ms.mu.Unlock()
 			mDedupWaits.Inc()
 			<-inflight
 			continue
 		}
 		done := make(chan struct{})
-		ms.building[key] = done
+		ms.building[id] = done
 		ms.mu.Unlock()
 
 		start := time.Now()
@@ -99,11 +104,11 @@ func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 		mBuildDur.Observe(elapsed.Seconds())
 		if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
 			lg.Debug("engine index built",
-				"index", key, "bytes", built.SizeBytes(), "elapsed", elapsed)
+				"index", k.Key(), "bytes", built.SizeBytes(), "elapsed", elapsed)
 		}
 		ms.mu.Lock()
-		ms.indexes[key] = built
-		delete(ms.building, key)
+		ms.indexes[id] = built
+		delete(ms.building, id)
 		ms.mu.Unlock()
 		close(done)
 		return built

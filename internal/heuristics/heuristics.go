@@ -127,11 +127,13 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		return pool[ia].Key() < pool[ib].Key()
 	})
 
-	sel := workload.NewSelection()
+	in := opt.Interner()
+	ids := workload.NewIDSelection(in)
 	var mem int64
 	for _, i := range order {
 		k := pool[i]
-		if sel.Has(k) {
+		id := in.Intern(k)
+		if ids.Has(id) {
 			continue
 		}
 		// Benefit-based rules never take net-harmful candidates (negative
@@ -139,13 +141,14 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		if (rule == H4 || rule == H5) && scores[i] <= 0 {
 			continue
 		}
-		sz := opt.IndexSize(k)
+		sz := opt.IndexSizeInterned(k, id)
 		if mem+sz > opts.Budget {
 			continue
 		}
-		sel.Add(k)
+		ids.Add(id)
 		mem += sz
 	}
+	sel := ids.Selection()
 	res := &Result{
 		Selection:  sel,
 		Cost:       TotalCost(w, opt, sel),
@@ -226,14 +229,12 @@ func coOccurrence(w *workload.Workload, cands []workload.Index) []int64 {
 	return weights
 }
 
-func queriesWithLead(w *workload.Workload, k workload.Index) []int {
-	var ids []int
-	for _, q := range w.Queries {
-		if q.Table == k.Table && q.Accesses(k.Leading()) {
-			ids = append(ids, q.ID)
-		}
-	}
-	return ids
+// queriesWithLead returns the queries (reads and writes alike) accessing
+// candidate k's leading attribute, via the workload's precomputed inverted
+// index instead of a full query scan per candidate. Attributes belong to
+// exactly one table, so no table filter is needed.
+func queriesWithLead(w *workload.Workload, k workload.Index) []int32 {
+	return w.QueriesWithAttr(k.Leading())
 }
 
 // Benefit returns the candidate's individually measured total improvement
@@ -306,7 +307,7 @@ func SkylineFilter(w *workload.Workload, opt *whatif.Optimizer, cands []workload
 			q := w.Queries[qid]
 			c := opt.CostWithIndex(q, k)
 			if c < opt.BaseCost(q) {
-				byQuery[qid] = append(byQuery[qid], entry{i, c, opt.IndexSize(k)})
+				byQuery[int(qid)] = append(byQuery[int(qid)], entry{i, c, opt.IndexSize(k)})
 			}
 		}
 	}

@@ -1,0 +1,154 @@
+package whatif
+
+import (
+	"sync"
+
+	"repro/internal/workload"
+)
+
+// Reference cache backend: the original string-keyed map implementation,
+// retained verbatim behind NewReference as the differential oracle for the
+// flat tables. It must keep the exact call/hit accounting and cache semantics
+// the flat backend claims to reproduce; the differential tests in
+// internal/core compare full selection runs across the two.
+type refTables struct {
+	mu        sync.RWMutex    // guards baseCache and sizeCache
+	baseCache map[int]float64 // query ID -> f_j(0)
+	sizeCache map[string]int64
+
+	indexCache [optShards]pairShard // (query ID, index key) -> f_j(k)
+	maintCache [optShards]pairShard // (query ID, index key) -> maintenance
+}
+
+type pairShard struct {
+	mu sync.RWMutex
+	m  map[pairKey]float64
+}
+
+type pairKey struct {
+	query int
+	index string
+}
+
+func (s *pairShard) get(key pairKey) (float64, bool) {
+	s.mu.RLock()
+	c, ok := s.m[key]
+	s.mu.RUnlock()
+	return c, ok
+}
+
+func (s *pairShard) put(key pairKey, c float64) {
+	s.mu.Lock()
+	s.m[key] = c
+	s.mu.Unlock()
+}
+
+func newRefTables() *refTables {
+	t := &refTables{
+		baseCache: make(map[int]float64),
+		sizeCache: make(map[string]int64),
+	}
+	for i := range t.indexCache {
+		t.indexCache[i].m = make(map[pairKey]float64)
+		t.maintCache[i].m = make(map[pairKey]float64)
+	}
+	return t
+}
+
+func (o *Optimizer) refBaseCost(q workload.Query) float64 {
+	t := o.ref
+	t.mu.RLock()
+	c, ok := t.baseCache[q.ID]
+	t.mu.RUnlock()
+	if ok {
+		o.cacheHits.Add(1)
+		return c
+	}
+	o.calls.Add(1)
+	c = o.src.BaseCost(q)
+	t.mu.Lock()
+	t.baseCache[q.ID] = c
+	t.mu.Unlock()
+	return c
+}
+
+func (o *Optimizer) refCostWithIndex(q workload.Query, k workload.Index) float64 {
+	if !workload.Applicable(q, k) {
+		return o.BaseCost(q)
+	}
+	key := pairKey{q.ID, k.Key()}
+	shard := &o.ref.indexCache[shardOf(q.ID)]
+	if c, ok := shard.get(key); ok {
+		o.cacheHits.Add(1)
+		return c
+	}
+	o.calls.Add(1)
+	c := o.src.CostWithIndex(q, k)
+	shard.put(key, c)
+	return c
+}
+
+func (o *Optimizer) refMaintenanceCost(q workload.Query, k workload.Index) float64 {
+	if !q.Maintains(k) {
+		return 0
+	}
+	key := pairKey{q.ID, k.Key()}
+	shard := &o.ref.maintCache[shardOf(q.ID)]
+	if c, ok := shard.get(key); ok {
+		return c
+	}
+	c := o.src.MaintenanceCost(q, k)
+	shard.put(key, c)
+	return c
+}
+
+func (o *Optimizer) refIndexSize(k workload.Index) int64 {
+	t := o.ref
+	key := k.Key()
+	t.mu.RLock()
+	s, ok := t.sizeCache[key]
+	t.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = o.src.IndexSize(k)
+	t.mu.Lock()
+	t.sizeCache[key] = s
+	t.mu.Unlock()
+	return s
+}
+
+func (o *Optimizer) refInvalidate(q workload.Query) int {
+	t := o.ref
+	t.mu.Lock()
+	delete(t.baseCache, q.ID)
+	t.mu.Unlock()
+	dropped := 0
+	for _, caches := range [2]*[optShards]pairShard{&t.indexCache, &t.maintCache} {
+		shard := &caches[shardOf(q.ID)]
+		shard.mu.Lock()
+		for key := range shard.m {
+			if key.query == q.ID {
+				delete(shard.m, key)
+				dropped++
+			}
+		}
+		shard.mu.Unlock()
+	}
+	return dropped
+}
+
+func (o *Optimizer) refStats(s *Stats) {
+	t := o.ref
+	t.mu.RLock()
+	s.DistinctIndexes = len(t.sizeCache)
+	t.mu.RUnlock()
+	for i := range t.indexCache {
+		sh := &t.indexCache[i]
+		sh.mu.RLock()
+		n := len(sh.m)
+		sh.mu.RUnlock()
+		s.IndexShardEntries[i] = n
+		s.IndexCacheEntries += n
+	}
+}

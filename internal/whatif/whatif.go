@@ -4,13 +4,20 @@
 // reproducible Appendix-B cost model (package costmodel) or measured
 // execution costs from the column-store engine (package engine) — selection
 // algorithms are agnostic to which (Section IV-B).
+//
+// Two cache backends exist. New builds the flat backend: indexes are interned
+// to dense uint32 IDs (workload.Interner) and every cache is a numeric table
+// — open-addressed uint64-keyed shards for (query, index) costs, plain slices
+// for base costs and sizes — so a cached probe does no string work at all.
+// NewReference builds the original string-keyed map backend, retained as the
+// differential oracle; both backends implement identical caching semantics
+// and call accounting.
 package whatif
 
 import (
 	"context"
 	"log/slog"
 	"math/rand"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/telemetry"
@@ -44,6 +51,10 @@ type Stats struct {
 	// DistinctIndexes is the number of distinct indexes whose size has been
 	// served — the advisor's touched index universe.
 	DistinctIndexes int
+	// InternedIndexes is the population of the optimizer's index interner:
+	// every distinct index identity that crossed the facade. Zero under the
+	// reference backend, which never interns.
+	InternedIndexes int
 	// IndexCacheEntries is the total (query, index) cost-cache population,
 	// i.e. the sum over IndexShardEntries.
 	IndexCacheEntries int
@@ -55,6 +66,20 @@ type Stats struct {
 // NumShards is the shard count of the pair-keyed caches, exported for the
 // Stats occupancy array.
 const NumShards = optShards
+
+// optShards is the shard count of the pair-keyed caches; a power of two well
+// above any realistic GOMAXPROCS keeps contention negligible.
+const optShards = 32
+
+// Compile-time assertion that optShards is a power of two, which shardOf's
+// mask and the flat shards' probe masks rely on.
+var _ [0]struct{} = [optShards & (optShards - 1)]struct{}{}
+
+// shardOf spreads query IDs over the shards (Fibonacci hashing so that
+// consecutive IDs — the common access pattern — do not clump).
+func shardOf(query int) uint32 {
+	return uint32((uint64(query)*11400714819323198485)>>32) & (optShards - 1)
+}
 
 // Optimizer is a concurrency-safe caching what-if facade. The per-(query,
 // index) caches are sharded by query ID so that the parallel candidate
@@ -69,82 +94,47 @@ const NumShards = optShards
 // count in that (rare) case.
 type Optimizer struct {
 	src Source
+	in  *workload.Interner
 
-	mu        sync.RWMutex    // guards baseCache and sizeCache
-	baseCache map[int]float64 // query ID -> f_j(0)
-	sizeCache map[string]int64
-
-	indexCache [optShards]pairShard // (query ID, index key) -> f_j(k)
-	maintCache [optShards]pairShard // (query ID, index key) -> maintenance
+	flat *flatTables // New: interned flat tables
+	ref  *refTables  // NewReference: string-keyed maps
 
 	calls     atomic.Int64
 	cacheHits atomic.Int64
 }
 
-// optShards is the shard count of the pair-keyed caches; a power of two well
-// above any realistic GOMAXPROCS keeps contention negligible.
-const optShards = 32
-
-type pairShard struct {
-	mu sync.RWMutex
-	m  map[pairKey]float64
-}
-
-type pairKey struct {
-	query int
-	index string
-}
-
-// shardOf spreads query IDs over the shards (Fibonacci hashing so that
-// consecutive IDs — the common access pattern — do not clump).
-func shardOf(query int) uint32 {
-	return uint32((uint64(query) * 11400714819323198485) >> 32 % optShards)
-}
-
-func (s *pairShard) get(key pairKey) (float64, bool) {
-	s.mu.RLock()
-	c, ok := s.m[key]
-	s.mu.RUnlock()
-	return c, ok
-}
-
-func (s *pairShard) put(key pairKey, c float64) {
-	s.mu.Lock()
-	s.m[key] = c
-	s.mu.Unlock()
-}
-
-// New wraps src in a caching optimizer.
+// New wraps src in a caching optimizer backed by the flat interned tables.
 func New(src Source) *Optimizer {
-	o := &Optimizer{
-		src:       src,
-		baseCache: make(map[int]float64),
-		sizeCache: make(map[string]int64),
-	}
-	for i := range o.indexCache {
-		o.indexCache[i].m = make(map[pairKey]float64)
-		o.maintCache[i].m = make(map[pairKey]float64)
-	}
-	return o
+	return &Optimizer{src: src, in: workload.NewInterner(), flat: &flatTables{}}
+}
+
+// NewReference wraps src in a caching optimizer backed by the original
+// string-keyed maps. Semantically identical to New; kept as the differential
+// oracle and for A/B benchmarks.
+func NewReference(src Source) *Optimizer {
+	return &Optimizer{src: src, in: workload.NewInterner(), ref: newRefTables()}
 }
 
 // Source returns the wrapped cost source.
 func (o *Optimizer) Source() Source { return o.src }
 
+// Interner returns the optimizer's index interner. Callers that hold an
+// index for many probes (the core selector, the greedy heuristics) intern it
+// once and use the *Interned methods, skipping the per-probe lookup.
+func (o *Optimizer) Interner() *workload.Interner { return o.in }
+
 // BaseCost returns f_j(0), cached per query.
 func (o *Optimizer) BaseCost(q workload.Query) float64 {
-	o.mu.RLock()
-	c, ok := o.baseCache[q.ID]
-	o.mu.RUnlock()
-	if ok {
+	if o.ref != nil {
+		return o.refBaseCost(q)
+	}
+	if c, ok := o.flat.baseGet(q.ID); ok {
 		o.cacheHits.Add(1)
 		return c
 	}
 	o.calls.Add(1)
-	c = o.src.BaseCost(q)
-	o.mu.Lock()
-	o.baseCache[q.ID] = c
-	o.mu.Unlock()
+	c := o.src.BaseCost(q)
+	o.flat.basePut(q.ID, c)
 	return c
 }
 
@@ -153,18 +143,37 @@ func (o *Optimizer) BaseCost(q workload.Query) float64 {
 // mirroring the paper's observation that only coverable queries need
 // re-evaluation.
 func (o *Optimizer) CostWithIndex(q workload.Query, k workload.Index) float64 {
+	if o.ref != nil {
+		return o.refCostWithIndex(q, k)
+	}
 	if !workload.Applicable(q, k) {
 		return o.BaseCost(q)
 	}
-	key := pairKey{q.ID, k.Key()}
-	shard := &o.indexCache[shardOf(q.ID)]
+	return o.costWithInterned(q, k, o.in.Intern(k))
+}
+
+// CostWithInterned is CostWithIndex for a pre-interned index: id must be
+// o.Interner()'s ID for k. Under the reference backend the id is ignored.
+func (o *Optimizer) CostWithInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
+	if o.ref != nil {
+		return o.refCostWithIndex(q, k)
+	}
+	if !workload.Applicable(q, k) {
+		return o.BaseCost(q)
+	}
+	return o.costWithInterned(q, k, id)
+}
+
+func (o *Optimizer) costWithInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
+	key := pairKeyOf(q.ID, id)
+	shard := &o.flat.indexCache[shardOf(q.ID)]
 	if c, ok := shard.get(key); ok {
 		o.cacheHits.Add(1)
 		return c
 	}
 	o.calls.Add(1)
 	c := o.src.CostWithIndex(q, k)
-	shard.put(key, c)
+	shard.put(q.ID, key, c)
 	return c
 }
 
@@ -179,54 +188,76 @@ func (o *Optimizer) QueryCost(q workload.Query, sel workload.Selection) float64 
 // Maintenance estimates are catalog/structure formulas, not optimizer
 // plan evaluations, and are not counted as what-if calls.
 func (o *Optimizer) MaintenanceCost(q workload.Query, k workload.Index) float64 {
+	if o.ref != nil {
+		return o.refMaintenanceCost(q, k)
+	}
 	if !q.Maintains(k) {
 		return 0
 	}
-	key := pairKey{q.ID, k.Key()}
-	shard := &o.maintCache[shardOf(q.ID)]
+	return o.maintInterned(q, k, o.in.Intern(k))
+}
+
+// MaintenanceCostInterned is MaintenanceCost for a pre-interned index.
+func (o *Optimizer) MaintenanceCostInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
+	if o.ref != nil {
+		return o.refMaintenanceCost(q, k)
+	}
+	if !q.Maintains(k) {
+		return 0
+	}
+	return o.maintInterned(q, k, id)
+}
+
+func (o *Optimizer) maintInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
+	key := pairKeyOf(q.ID, id)
+	shard := &o.flat.maintCache[shardOf(q.ID)]
 	if c, ok := shard.get(key); ok {
 		return c
 	}
 	c := o.src.MaintenanceCost(q, k)
-	shard.put(key, c)
+	shard.put(q.ID, key, c)
 	return c
 }
 
 // IndexSize returns p_k, cached per index. Size lookups are catalog reads,
 // not what-if calls, and are not counted.
 func (o *Optimizer) IndexSize(k workload.Index) int64 {
-	key := k.Key()
-	o.mu.RLock()
-	s, ok := o.sizeCache[key]
-	o.mu.RUnlock()
-	if ok {
+	if o.ref != nil {
+		return o.refIndexSize(k)
+	}
+	return o.sizeInterned(k, o.in.Intern(k))
+}
+
+// IndexSizeInterned is IndexSize for a pre-interned index.
+func (o *Optimizer) IndexSizeInterned(k workload.Index, id workload.IndexID) int64 {
+	if o.ref != nil {
+		return o.refIndexSize(k)
+	}
+	return o.sizeInterned(k, id)
+}
+
+func (o *Optimizer) sizeInterned(k workload.Index, id workload.IndexID) int64 {
+	if s, ok := o.flat.sizeGet(id); ok {
 		return s
 	}
-	s = o.src.IndexSize(k)
-	o.mu.Lock()
-	o.sizeCache[key] = s
-	o.mu.Unlock()
+	s := o.src.IndexSize(k)
+	o.flat.sizePut(id, s)
 	return s
 }
 
 // Invalidate drops all cached costs for query q. Used in multi-index mode
 // (Remark 2) when the current selection changes the context earlier calls
-// were made under.
+// were made under. Under the flat backend this walks only q's recorded
+// entries (O(entries for q)); the reference backend scans its shard.
 func (o *Optimizer) Invalidate(q workload.Query) {
-	o.mu.Lock()
-	delete(o.baseCache, q.ID)
-	o.mu.Unlock()
-	dropped := 0
-	for _, caches := range [2]*[optShards]pairShard{&o.indexCache, &o.maintCache} {
-		shard := &caches[shardOf(q.ID)]
-		shard.mu.Lock()
-		for key := range shard.m {
-			if key.query == q.ID {
-				delete(shard.m, key)
-				dropped++
-			}
-		}
-		shard.mu.Unlock()
+	var dropped int
+	if o.ref != nil {
+		dropped = o.refInvalidate(q)
+	} else {
+		o.flat.baseDrop(q.ID)
+		shard := shardOf(q.ID)
+		dropped = o.flat.indexCache[shard].invalidate(q.ID) +
+			o.flat.maintCache[shard].invalidate(q.ID)
 	}
 	if lg := telemetry.L(); lg.Enabled(context.Background(), slog.LevelDebug) {
 		lg.Debug("whatif cache invalidated", "query", q.ID, "entries_dropped", dropped)
@@ -235,15 +266,20 @@ func (o *Optimizer) Invalidate(q workload.Query) {
 
 // Stats returns a snapshot of the call counters and cache occupancy.
 func (o *Optimizer) Stats() Stats {
-	s := Stats{Calls: o.calls.Load(), CacheHits: o.cacheHits.Load()}
-	o.mu.RLock()
-	s.DistinctIndexes = len(o.sizeCache)
-	o.mu.RUnlock()
-	for i := range o.indexCache {
-		sh := &o.indexCache[i]
-		sh.mu.RLock()
-		n := len(sh.m)
-		sh.mu.RUnlock()
+	s := Stats{
+		Calls:           o.calls.Load(),
+		CacheHits:       o.cacheHits.Load(),
+		InternedIndexes: o.in.Len(),
+	}
+	if o.ref != nil {
+		o.refStats(&s)
+		return s
+	}
+	o.flat.mu.RLock()
+	s.DistinctIndexes = o.flat.sizeCount
+	o.flat.mu.RUnlock()
+	for i := range o.flat.indexCache {
+		n := o.flat.indexCache[i].len()
 		s.IndexShardEntries[i] = n
 		s.IndexCacheEntries += n
 	}

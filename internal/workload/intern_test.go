@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestInternerStableInjective: the interner's two defining properties. IDs
+// are stable (the same index always gets the same ID, across re-Intern and
+// across table growth) and injective (distinct indexes never share an ID,
+// and Index(id) returns the original identity).
+func TestInternerStableInjective(t *testing.T) {
+	in := NewInterner()
+	var keys []Index
+	for tb := 0; tb < 5; tb++ {
+		for a := 0; a < 40; a++ {
+			keys = append(keys, Index{Table: tb, Attrs: []int{a}})
+			keys = append(keys, Index{Table: tb, Attrs: []int{a, a + 1}})
+			keys = append(keys, Index{Table: tb, Attrs: []int{a + 1, a}})
+			keys = append(keys, Index{Table: tb, Attrs: []int{a, a + 1, a + 2, a + 3}})
+		}
+	}
+	first := make([]IndexID, len(keys))
+	for i, k := range keys {
+		first[i] = in.Intern(k)
+	}
+	seen := make(map[IndexID]string, len(keys))
+	for i, k := range keys {
+		id := first[i]
+		if prev, dup := seen[id]; dup && prev != fmt.Sprintf("t%d:%s", k.Table, k.Key()) {
+			t.Fatalf("ID %d shared by %s and t%d:%s", id, prev, k.Table, k.Key())
+		}
+		seen[id] = fmt.Sprintf("t%d:%s", k.Table, k.Key())
+	}
+	// Stability across re-interning (the table has grown several times by
+	// now, so this also covers rehash preserving assignments).
+	for i, k := range keys {
+		if got := in.Intern(k); got != first[i] {
+			t.Fatalf("re-Intern(%v) = %d, first assignment was %d", k, got, first[i])
+		}
+		if got, ok := in.Lookup(k); !ok || got != first[i] {
+			t.Fatalf("Lookup(%v) = %d, %v; want %d, true", k, got, ok, first[i])
+		}
+		back := in.Index(first[i])
+		if back.Table != k.Table || back.Key() != k.Key() {
+			t.Fatalf("Index(%d) = %v, want %v", first[i], back, k)
+		}
+	}
+	if in.Len() != len(keys) {
+		t.Fatalf("Len() = %d, want %d distinct indexes", in.Len(), len(keys))
+	}
+}
+
+// TestInternerDefensiveCopy: interned identities must be immune to callers
+// mutating the attr slice they interned with.
+func TestInternerDefensiveCopy(t *testing.T) {
+	in := NewInterner()
+	attrs := []int{3, 7}
+	id := in.Intern(Index{Table: 1, Attrs: attrs})
+	attrs[0] = 99
+	if got := in.Index(id); got.Attrs[0] != 3 {
+		t.Fatalf("interned attrs mutated through caller slice: %v", got.Attrs)
+	}
+	if got := in.Intern(Index{Table: 1, Attrs: []int{3, 7}}); got != id {
+		t.Fatalf("original identity lost after caller mutation: %d vs %d", got, id)
+	}
+}
+
+// TestInternerConcurrent: concurrent Intern of overlapping sets must agree on
+// one ID per identity (run under -race in CI).
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const goroutines = 8
+	ids := make([]map[string]IndexID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids[g] = make(map[string]IndexID)
+			for tb := 0; tb < 4; tb++ {
+				for a := 0; a < 64; a++ {
+					k := Index{Table: tb, Attrs: []int{a, (a + g) % 64, 64 + a}}
+					ids[g][fmt.Sprintf("t%d:%s", tb, k.Key())] = in.Intern(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for key, id := range ids[g] {
+			if ref, ok := ids[0][key]; ok && ref != id {
+				t.Fatalf("goroutines disagree on %s: %d vs %d", key, ref, id)
+			}
+		}
+	}
+}
+
+// TestIDSelectionMatchesMapSelection: the bitset-backed selection must agree
+// with the map-backed one on membership, length, iteration content, and the
+// materialized Selection.
+func TestIDSelectionMatchesMapSelection(t *testing.T) {
+	in := NewInterner()
+	ids := NewIDSelection(in)
+	ref := NewSelection()
+	var list []Index
+	for a := 0; a < 30; a += 3 {
+		list = append(list, Index{Table: 0, Attrs: []int{a}}, Index{Table: 0, Attrs: []int{a, a + 1}})
+	}
+	for i, k := range list {
+		id := in.Intern(k)
+		if fresh := ids.Add(id); !fresh {
+			t.Fatalf("Add(%v) reported already present", k)
+		}
+		ref.Add(k)
+		if i%3 == 0 {
+			ids.Remove(id)
+			ref.Remove(k)
+		}
+	}
+	if ids.Len() != len(ref) {
+		t.Fatalf("Len %d vs map %d", ids.Len(), len(ref))
+	}
+	for _, k := range list {
+		id, _ := in.Lookup(k)
+		if ids.Has(id) != ref.Has(k) {
+			t.Fatalf("membership of %v diverges", k)
+		}
+	}
+	got := ids.Selection()
+	if len(got) != len(ref) {
+		t.Fatalf("materialized %d vs %d", len(got), len(ref))
+	}
+	for key := range ref {
+		if !got.Has(ref[key]) {
+			t.Fatalf("materialized selection missing %v", ref[key])
+		}
+	}
+	// Clone independence.
+	cl := ids.Clone()
+	firstID, _ := in.Lookup(list[1])
+	cl.Remove(firstID)
+	if !ids.Has(firstID) {
+		t.Fatal("Clone shares bits with original")
+	}
+}

@@ -92,6 +92,30 @@ type Query struct {
 	Freq int64
 	// Kind is the template type; the zero value is Select.
 	Kind QueryKind
+
+	// aset is a bitset over the span [asetBase, asetBase+64*len(aset)) of
+	// global attribute IDs, mirroring Attrs for O(1) Accesses tests. It is
+	// populated by New; hand-built Query values leave it nil and fall back
+	// to the linear scan. Query attribute IDs cluster per table, so the
+	// span (first..last accessed attribute) stays a handful of words even
+	// when the workload has thousands of attributes.
+	aset     []uint64
+	asetBase int32
+}
+
+// initAccessSet builds the attribute bitset; Attrs must already be sorted.
+func (q *Query) initAccessSet() {
+	if len(q.Attrs) == 0 {
+		return
+	}
+	base := q.Attrs[0]
+	span := q.Attrs[len(q.Attrs)-1] - base + 1
+	q.asetBase = int32(base)
+	q.aset = make([]uint64, (span+63)/64)
+	for _, a := range q.Attrs {
+		off := a - base
+		q.aset[off>>6] |= 1 << (off & 63)
+	}
 }
 
 // IsWrite reports whether the query maintains indexes (Insert or Update).
@@ -108,8 +132,10 @@ func (q Query) Maintains(k Index) bool {
 	case Insert:
 		return true
 	case Update:
-		for _, a := range q.Attrs {
-			if k.Contains(a) {
+		// Equivalent to scanning q.Attrs for membership in k, but driven by
+		// the (typically shorter) index key so each test is one bit probe.
+		for _, a := range k.Attrs {
+			if q.Accesses(a) {
 				return true
 			}
 		}
@@ -119,6 +145,10 @@ func (q Query) Maintains(k Index) bool {
 
 // Accesses reports whether the query accesses global attribute id.
 func (q Query) Accesses(id int) bool {
+	if q.aset != nil {
+		off := id - int(q.asetBase)
+		return off >= 0 && off < len(q.aset)*64 && q.aset[off>>6]&(1<<(off&63)) != 0
+	}
 	for _, a := range q.Attrs {
 		if a == id {
 			return true
@@ -135,6 +165,13 @@ type Workload struct {
 
 	attrs     []Attribute // indexed by global attribute ID
 	attrTable []int       // attr ID -> table ID (redundant fast path)
+
+	// Inverted indexes from attribute to the (ascending) IDs of queries
+	// accessing it, so candidate evaluation iterates only applicable
+	// queries instead of filtering all Q. attrReadQueries excludes Insert
+	// templates (which have no read path and can never match Applicable).
+	attrQueries     [][]int32
+	attrReadQueries [][]int32
 }
 
 // New validates tables, attributes and queries and returns a Workload.
@@ -149,8 +186,18 @@ func New(tables []Table, attrs []Attribute, queries []Query) (*Workload, error) 
 	for i, a := range attrs {
 		w.attrTable[i] = a.Table
 	}
+	w.attrQueries = make([][]int32, len(attrs))
+	w.attrReadQueries = make([][]int32, len(attrs))
 	for qi := range w.Queries {
-		sort.Ints(w.Queries[qi].Attrs)
+		q := &w.Queries[qi]
+		sort.Ints(q.Attrs)
+		q.initAccessSet()
+		for _, a := range q.Attrs {
+			w.attrQueries[a] = append(w.attrQueries[a], int32(q.ID))
+			if q.Kind != Insert {
+				w.attrReadQueries[a] = append(w.attrReadQueries[a], int32(q.ID))
+			}
+		}
 	}
 	return w, nil
 }
@@ -283,6 +330,16 @@ func (w *Workload) TotalFreq() int64 {
 	return total
 }
 
+// QueriesWithAttr returns the IDs (ascending) of all queries accessing
+// global attribute id, Inserts included. The slice is shared; callers must
+// not modify it.
+func (w *Workload) QueriesWithAttr(id int) []int32 { return w.attrQueries[id] }
+
+// ReadQueriesWithAttr is QueriesWithAttr restricted to templates with a read
+// path (Kind != Insert) — exactly the queries for which an index led by id
+// can be Applicable. The slice is shared; callers must not modify it.
+func (w *Workload) ReadQueriesWithAttr(id int) []int32 { return w.attrReadQueries[id] }
+
 // QueriesOnTable returns the IDs of queries accessing table t.
 func (w *Workload) QueriesOnTable(t int) []int {
 	var ids []int
@@ -394,10 +451,44 @@ func ParseIndexKey(w *Workload, key string) (Index, error) {
 	return NewIndex(w, attrs...)
 }
 
-// String renders the index with attribute names when short, e.g.
-// "ORD(W_ID,D_ID)".
+// String renders the index compactly with raw IDs, e.g. "t0(1,2)". An Index
+// value carries no catalog, so names are not available here; use
+// Workload.IndexName for a human-readable rendering like "ORD(W_ID,D_ID)".
 func (k Index) String() string {
 	return fmt.Sprintf("t%d(%s)", k.Table, k.Key())
+}
+
+// IndexName renders index k with table and attribute names from the catalog,
+// e.g. "ORD(W_ID,D_ID)". Attribute names that repeat the table name as a
+// "TABLE."-style prefix are trimmed; unnamed tables or attributes fall back
+// to their numeric IDs.
+func (w *Workload) IndexName(k Index) string {
+	var b strings.Builder
+	tname := ""
+	if k.Table >= 0 && k.Table < len(w.Tables) {
+		tname = w.Tables[k.Table].Name
+	}
+	if tname == "" {
+		tname = fmt.Sprintf("t%d", k.Table)
+	}
+	b.WriteString(tname)
+	b.WriteByte('(')
+	for i, a := range k.Attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name := ""
+		if a >= 0 && a < len(w.attrs) {
+			name = w.attrs[a].Name
+		}
+		if name == "" {
+			b.WriteString(strconv.Itoa(a))
+			continue
+		}
+		b.WriteString(strings.TrimPrefix(name, tname+"."))
+	}
+	b.WriteByte(')')
+	return b.String()
 }
 
 // CoverablePrefix returns U(q, k): the longest prefix of k's key whose
