@@ -9,6 +9,7 @@ import (
 	"repro/internal/cophy"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/fault"
 	"repro/internal/heuristics"
 	"repro/internal/telemetry"
 	"repro/internal/whatif"
@@ -22,6 +23,8 @@ var (
 		"Wall time per Advisor.Select run.", nil)
 	mSelectErrs = telemetry.Default().Counter("indexsel_select_errors_total",
 		"Advisor.Select runs that returned an error.")
+	mSelectPartial = telemetry.Default().Counter("indexsel_select_partial_total",
+		"Advisor.Select runs interrupted by deadline or cancellation that returned a partial (best-so-far) recommendation.")
 )
 
 // Strategy identifies an index-selection algorithm.
@@ -238,6 +241,15 @@ type Recommendation struct {
 	DNF bool
 	// Gap is CoPhy's final relative optimality gap.
 	Gap float64
+	// StopReason says how the strategy's run ended (converged, max-steps,
+	// budget-exhausted, deadline, cancelled).
+	StopReason StopReason
+	// Partial reports an interrupted run (context cancelled or deadline
+	// expired) whose recommendation is the best feasible result found before
+	// the cut: for Extend the bit-identical prefix of the unbounded run's
+	// construction trace, for CoPhy the best incumbent with Gap as its
+	// certificate, for H1-H5 the greedy fill over the scored prefix.
+	Partial bool
 
 	selection Selection
 }
@@ -270,6 +282,19 @@ func (r *Recommendation) Frontier() []FrontierPoint {
 // CoPhy phase, and updates the selection counters and duration histogram in
 // the metrics registry.
 func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
+	return ad.SelectContext(context.Background(), s)
+}
+
+// SelectContext is Select under a context: cancellation or a context deadline
+// interrupts the run at the next strategy checkpoint and returns the best
+// feasible recommendation found so far with Partial and StopReason set — an
+// interrupted run is not an error. Extend's partial result is the
+// bit-identical prefix of the unbounded construction trace at the same
+// Parallelism; CoPhy degrades to its best incumbent (greedy at worst) with
+// the root-relaxation gap as certificate; H1-H5 fill greedily over the
+// candidates scored before the cut. A panic inside a strategy (e.g. a
+// crashing cost source) is recovered and returned as a *WorkerPanicError.
+func (ad *Advisor) SelectContext(ctx context.Context, s Strategy) (*Recommendation, error) {
 	budget := ad.Budget()
 	if budget <= 0 {
 		return nil, fmt.Errorf("indexsel: budget must be positive (got %d)", budget)
@@ -279,7 +304,7 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 	root.SetStr("strategy", s.String())
 	root.SetInt("budget_bytes", budget)
 
-	rec, err := ad.runStrategy(s, budget, root)
+	rec, err := ad.runStrategy(ctx, s, budget, root)
 	elapsed := time.Since(start)
 	mSelects.Inc()
 	mSelectDur.Observe(elapsed.Seconds())
@@ -290,6 +315,9 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 		return nil, err
 	}
 	rec.Elapsed = elapsed
+	if rec.Partial {
+		mSelectPartial.Inc()
+	}
 
 	ws := ad.opt.Stats()
 	root.SetFloat("cost", rec.Cost)
@@ -299,6 +327,7 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 	root.SetInt("steps", int64(len(rec.Steps)))
 	root.SetInt("whatif_calls", ws.Calls)
 	root.SetInt("whatif_cache_hits", ws.CacheHits)
+	root.SetStr("stop_reason", rec.StopReason.String())
 	root.End()
 	if lg := ad.tel.Log(); lg.Enabled(context.Background(), slog.LevelInfo) {
 		lg.Info("selection complete",
@@ -311,15 +340,23 @@ func (ad *Advisor) Select(s Strategy) (*Recommendation, error) {
 	return rec, nil
 }
 
-// runStrategy dispatches to the strategy implementation, threading the root
-// telemetry span into it.
-func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (*Recommendation, error) {
-	rec := &Recommendation{Strategy: s, Budget: budget}
+// runStrategy dispatches to the strategy implementation, threading the
+// context and the root telemetry span into it. A panic escaping a strategy
+// (they each carry their own recovery; this is the advisor-side backstop) is
+// converted to a *WorkerPanicError.
+func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, root *telemetry.Span) (rec *Recommendation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec, err = nil, fault.AsPanicError("indexsel.runStrategy", r)
+		}
+	}()
+	rec = &Recommendation{Strategy: s, Budget: budget, StopReason: fault.StopConverged}
 
 	switch s {
 	case StrategyExtend:
 		opts := ad.extendOpts
 		opts.Budget = budget
+		opts.Context = ctx
 		if ad.parallelism != 0 {
 			opts.Parallelism = ad.parallelism
 		}
@@ -345,6 +382,8 @@ func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (
 		rec.Workers = res.Workers
 		rec.Evaluated = res.Evaluated
 		rec.CacheServed = res.CacheServed
+		rec.StopReason = res.StopReason
+		rec.Partial = res.Partial
 
 	case StrategyCoPhy:
 		cands, err := ad.candidateSet()
@@ -355,6 +394,7 @@ func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (
 			Budget:             budget,
 			Gap:                ad.gap,
 			TimeLimit:          ad.timeLimit,
+			Context:            ctx,
 			DominanceReduction: ad.dominance,
 			Parallelism:        ad.parallelism,
 			Span:               root,
@@ -369,6 +409,17 @@ func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (
 		rec.Memory = res.Memory
 		rec.DNF = res.Stats.DNF
 		rec.Gap = res.Stats.Gap
+		if res.Stats.DNF {
+			// A DNF solve returned its incumbent: partial by the anytime
+			// contract. The reason distinguishes caller cancellation from a
+			// deadline (the advisor's TimeLimit or the context's).
+			rec.Partial = true
+			if ctx != nil && ctx.Err() == context.Canceled {
+				rec.StopReason = fault.StopCancelled
+			} else {
+				rec.StopReason = fault.StopDeadline
+			}
+		}
 
 	case StrategyH1, StrategyH2, StrategyH3, StrategyH4, StrategyH5:
 		cands, err := ad.candidateSet()
@@ -384,6 +435,7 @@ func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (
 			Budget:  budget,
 			Skyline: ad.skyline && s == StrategyH4,
 			Span:    root,
+			Context: ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -393,6 +445,8 @@ func (ad *Advisor) runStrategy(s Strategy, budget int64, root *telemetry.Span) (
 		rec.Cost = res.Cost
 		rec.BaseCost = ad.baseCost()
 		rec.Memory = res.Memory
+		rec.StopReason = res.StopReason
+		rec.Partial = res.Partial
 
 	default:
 		return nil, fmt.Errorf("indexsel: unknown strategy %d", int(s))

@@ -9,6 +9,13 @@
 //	indexadvisor -workload w.json -strategy h5 -budget-bytes 100000000
 //	indexadvisor -workload w.json -parallelism 8 -cpuprofile extend.pprof
 //	indexadvisor -workload w.json -metrics-addr 127.0.0.1:9177 -trace-out run.jsonl -json
+//	indexadvisor -workload w.json -timeout 500ms -json
+//
+// -timeout puts the whole selection under a deadline: on expiry the advisor
+// returns its best partial result (for Extend, a bit-identical prefix of the
+// unbounded run's construction trace) with "partial" and "stop_reason"
+// reported, and the command still exits 0 — an interrupted run is a result,
+// not an error.
 //
 // The default strategy is the paper's recursive Extend algorithm (H6), which
 // evaluates candidate steps on all cores (-parallelism to override) with
@@ -24,6 +31,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -60,6 +68,7 @@ func main() {
 		numCands    = flag.Int("candidates", 0, "candidate-set size for cophy/h1..h5 (0 = all)")
 		gap         = flag.Float64("gap", 0.05, "cophy optimality gap")
 		timeLimit   = flag.Duration("timelimit", time.Minute, "cophy time limit")
+		timeout     = flag.Duration("timeout", 0, "overall selection deadline (any strategy); on expiry the best partial result found so far is reported and the exit code stays 0")
 		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for extend evaluation and cophy branch-and-bound node solves (0 = all cores, 1 = serial; identical results)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
@@ -179,7 +188,13 @@ func main() {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	rec, err := adv.Select(strat)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rec, err := adv.SelectContext(ctx, strat)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -228,6 +243,9 @@ func report(w *indexsel.Workload, rec *indexsel.Recommendation, showSteps bool) 
 		fmt.Printf("  [DNF — best incumbent returned]")
 	}
 	fmt.Println()
+	if rec.Partial {
+		fmt.Printf("partial:     interrupted (%v) — best result found before the cut\n", rec.StopReason)
+	}
 
 	if showSteps && len(rec.Steps) > 0 {
 		fmt.Println("\nconstruction trace:")
@@ -259,12 +277,23 @@ type jsonReport struct {
 	ElapsedUS   int64       `json:"elapsed_us"`
 	DNF         bool        `json:"dnf,omitempty"`
 	Gap         float64     `json:"gap,omitempty"`
+	Partial     bool        `json:"partial,omitempty"`
+	StopReason  string      `json:"stop_reason,omitempty"`
 	Workers     int         `json:"workers,omitempty"`
 	Evaluated   int         `json:"evaluated,omitempty"`
 	CacheServed int         `json:"cache_served,omitempty"`
 	Indexes     []jsonIndex `json:"indexes"`
 	Steps       []jsonStep  `json:"steps,omitempty"`
+	Frontier    []jsonPoint `json:"frontier"`
 	WhatIf      jsonWhatIf  `json:"whatif"`
+}
+
+// jsonPoint is one (memory, cost) point of the anytime frontier. The frontier
+// is never empty: even a run cut at its deadline before the first step emits
+// the (0, base_cost) point.
+type jsonPoint struct {
+	MemoryBytes int64   `json:"memory_bytes"`
+	Cost        float64 `json:"cost"`
 }
 
 type jsonIndex struct {
@@ -304,6 +333,8 @@ func writeJSON(out *os.File, w *indexsel.Workload, adv *indexsel.Advisor, rec *i
 		ElapsedUS:   rec.Elapsed.Microseconds(),
 		DNF:         rec.DNF,
 		Gap:         rec.Gap,
+		Partial:     rec.Partial,
+		StopReason:  rec.StopReason.String(),
 		Workers:     rec.Workers,
 		Evaluated:   rec.Evaluated,
 		CacheServed: rec.CacheServed,
@@ -345,6 +376,9 @@ func writeJSON(out *os.File, w *indexsel.Workload, adv *indexsel.Advisor, rec *i
 			js.Extends = describe(w, *s.Replaced)
 		}
 		rep.Steps = append(rep.Steps, js)
+	}
+	for _, p := range rec.Frontier() {
+		rep.Frontier = append(rep.Frontier, jsonPoint{MemoryBytes: p.Memory, Cost: p.Cost})
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/inum"
 	"repro/internal/sqllog"
 	"repro/internal/telemetry"
@@ -227,6 +228,32 @@ type ExtendOptions = core.Options
 
 // FrontierPoint is a (memory, cost) combination of the Extend trace.
 type FrontierPoint = core.FrontierPoint
+
+// StopReason says how a selection run ended; see Recommendation.StopReason
+// and SelectContext for the anytime contract.
+type StopReason = fault.StopReason
+
+// Stop reasons a Recommendation can carry. StopDeadline and StopCancelled
+// mark interrupted (Partial) runs; the others are natural terminations.
+const (
+	// StopConverged: the strategy finished on its own terms.
+	StopConverged = fault.StopConverged
+	// StopMaxSteps: Extend hit ExtendOptions.MaxSteps.
+	StopMaxSteps = fault.StopMaxSteps
+	// StopBudget: viable candidates remained but none fit the memory budget.
+	StopBudget = fault.StopBudget
+	// StopDeadline: the context's deadline expired mid-run.
+	StopDeadline = fault.StopDeadline
+	// StopCancelled: the context was cancelled mid-run.
+	StopCancelled = fault.StopCancelled
+)
+
+// WorkerPanicError is a panic recovered inside a selection strategy (for
+// example a crashing cost source) and returned as an error, with the original
+// panic value and goroutine stack preserved. One bad candidate evaluation
+// fails the Select call instead of the process; concurrent workers drain
+// cleanly and the first panic wins.
+type WorkerPanicError = fault.WorkerPanicError
 
 // WhatIfStats reports what-if optimizer call accounting.
 type WhatIfStats = whatif.Stats

@@ -4,7 +4,8 @@ import (
 	"container/heap"
 	"math"
 	"sort"
-	"time"
+
+	"repro/internal/fault"
 )
 
 // solveCombinatorial runs a depth-first branch and bound directly over the
@@ -19,7 +20,7 @@ import (
 // set of indexes never exceeds the sum of the individual improvements).
 // (2) Memory-relaxed: sum_j b_j * min(cur_j, best_j), where best_j is query
 // j's cheapest cost under ANY candidate — no budget can beat it.
-func (ins *instance) solveCombinatorial(budget int64, gap float64, deadline time.Time) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool) {
+func (ins *instance) solveCombinatorial(budget int64, gap float64, stop *fault.Stopper) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool) {
 	// Usable candidates in descending root-density order.
 	type ordered struct {
 		ci      int
@@ -115,11 +116,16 @@ func (ins *instance) solveCombinatorial(budget int64, gap float64, deadline time
 	}
 
 	rootBound := lowerBound(0, budget)
+	// A context that is already dead (or dies during a truncated build) must
+	// still report DNF even if the first 255-node stretch would finish fast.
+	if stop.Check() != fault.StopNone {
+		deadlineHit = true
+	}
 
 	var rec func(p int)
 	rec = func(p int) {
 		nodes++
-		if deadlineHit || (nodes&255 == 0 && !deadline.IsZero() && time.Now().After(deadline)) {
+		if deadlineHit || (nodes&255 == 0 && stop.Check() != fault.StopNone) {
 			deadlineHit = true
 			return
 		}

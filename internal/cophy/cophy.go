@@ -24,6 +24,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/telemetry"
 	"repro/internal/whatif"
@@ -51,6 +52,13 @@ type Options struct {
 	// TimeLimit aborts the solve; zero means none. On abort the best
 	// incumbent found is returned with Stats.DNF set.
 	TimeLimit time.Duration
+	// Context, if non-nil, cancels the solve with the same graceful
+	// degradation as TimeLimit: the model build truncates its candidate loop,
+	// the explicit-LP path forwards cancellation into the branch-and-bound
+	// reducer, the combinatorial search polls it between nodes, and the best
+	// incumbent found (greedy at worst) is returned with Stats.DNF set. The
+	// context's own deadline (if earlier than TimeLimit's) wins.
+	Context context.Context
 	// MaxLPSize bounds the number of LP variables for the explicit-LP path;
 	// larger models switch to the combinatorial branch and bound.
 	// Zero means 5000.
@@ -114,15 +122,28 @@ type Result struct {
 }
 
 // Solve runs CoPhy over the candidate set.
-func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, opts Options) (*Result, error) {
+//
+// Solve never lets a panic escape: a panic during the model build, a node LP
+// solve, or the combinatorial search is recovered and returned as a
+// *fault.WorkerPanicError.
+func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fault.AsPanicError("cophy.Solve", r)
+		}
+	}()
 	if opts.Budget <= 0 {
 		return nil, fmt.Errorf("cophy: budget must be positive (got %d)", opts.Budget)
 	}
 	if opts.ForceLP && opts.ForceCombinatorial {
 		return nil, fmt.Errorf("cophy: ForceLP and ForceCombinatorial are mutually exclusive")
 	}
+	// The build phase honors only the context (TimeLimit is a solve-phase
+	// budget): cancellation truncates the candidate loop, and the solve then
+	// degrades over the candidates built so far.
+	buildStop := fault.NewStopper(opts.Context, time.Time{})
 	bsp := opts.Span.Child("cophy.build")
-	ins := buildInstance(w, opt, cands)
+	ins := buildInstance(w, opt, cands, buildStop)
 	stats := Stats{
 		Vars:        ins.paperVars,
 		Constraints: ins.paperConstraints,
@@ -161,26 +182,34 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 	if opts.TimeLimit > 0 {
 		deadline = start.Add(opts.TimeLimit)
 	}
+	// stop merges TimeLimit and the context (including the context's own
+	// deadline) for the solve phase.
+	stop := fault.NewStopper(opts.Context, deadline)
 	var (
 		chosen []int
 		cost   float64
 		nodes  int
 		gap    float64
 		dnf    bool
-		err    error
+		serr   error
 	)
 	if useLP {
 		directCap := opts.MaxDirectLPSize
 		if directCap == 0 {
 			directCap = 40_000
 		}
-		chosen, cost, nodes, gap, dnf, err = ins.solveLP(opts.Budget, opts.Gap, deadline, opts.Parallelism, directCap, ssp)
+		chosen, cost, nodes, gap, dnf, serr = ins.solveLP(opts.Budget, opts.Gap, stop, opts.Parallelism, directCap, ssp)
 	} else {
-		chosen, cost, nodes, gap, dnf = ins.solveCombinatorial(opts.Budget, opts.Gap, deadline)
+		chosen, cost, nodes, gap, dnf = ins.solveCombinatorial(opts.Budget, opts.Gap, stop)
 	}
-	if err != nil {
+	if serr != nil {
 		ssp.Discard()
-		return nil, err
+		return nil, serr
+	}
+	if ins.truncated {
+		// A cancelled build means the solve ran over a candidate subset; the
+		// result is feasible but not a certificate over the full set.
+		dnf = true
 	}
 	stats.Elapsed = time.Since(start)
 	stats.Nodes = nodes
@@ -219,7 +248,7 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 // formulation for the candidate set without solving it — the accounting
 // behind the paper's Figure 6.
 func ModelSize(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index) Stats {
-	ins := buildInstance(w, opt, cands)
+	ins := buildInstance(w, opt, cands, nil)
 	return Stats{
 		Vars:        ins.paperVars,
 		Constraints: ins.paperConstraints,
@@ -241,6 +270,11 @@ type instance struct {
 	paperVars        int
 	paperConstraints int
 	whatIfCalls      int64
+
+	// truncated reports that the build was cut short by cancellation: the
+	// instance covers a prefix of the candidate set, so any solve over it is
+	// feasible but DNF with respect to the full set.
+	truncated bool
 }
 
 type candInfo struct {
@@ -260,7 +294,12 @@ type assign struct {
 	cost  float64
 }
 
-func buildInstance(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index) *instance {
+// buildInstance preprocesses the candidate set into the solve instance,
+// performing one what-if call per applicable (query, candidate) pair — the
+// expensive phase under measured sources. A non-nil stop truncates the
+// candidate loop on cancellation: candidates built so far form a consistent
+// (smaller) instance and ins.truncated is set.
+func buildInstance(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, stop *fault.Stopper) *instance {
 	ins := &instance{
 		w:        w,
 		perQuery: make([][]assign, w.NumQueries()),
@@ -275,6 +314,11 @@ func buildInstance(w *workload.Workload, opt *whatif.Optimizer, cands []workload
 	ins.cands = make([]candInfo, len(cands))
 	paperIj := 0
 	for ci, k := range cands {
+		if stop.Check() != fault.StopNone {
+			ins.cands = ins.cands[:ci]
+			ins.truncated = true
+			break
+		}
 		info := candInfo{index: k, size: opt.IndexSize(k)}
 		for _, q := range w.Queries {
 			if q.IsWrite() {
@@ -295,8 +339,9 @@ func buildInstance(w *workload.Workload, opt *whatif.Optimizer, cands []workload
 	after := opt.Stats()
 	ins.whatIfCalls = after.Calls - before.Calls
 	// Paper counting: |I| + sum_j(|I_j|+1) variables; Q + sum_j |I_j| + 1
-	// constraints (eqs. (6)-(8) with the z_j0 option).
-	ins.paperVars = len(cands) + paperIj + w.NumQueries()
+	// constraints (eqs. (6)-(8) with the z_j0 option). A truncated build
+	// counts the candidates actually materialized.
+	ins.paperVars = len(ins.cands) + paperIj + w.NumQueries()
 	ins.paperConstraints = w.NumQueries() + paperIj + 1
 	return ins
 }
@@ -397,10 +442,10 @@ func (ins *instance) reduceDominated() {
 // right-hand side, the all-slack basis is primal feasible at the "no
 // indexes" vertex and the primal simplex descends directly — no equality
 // phase-1 work on the 100k-row instances of Table I.
-func (ins *instance) solveLP(budget int64, gap float64, deadline time.Time, parallelism int, directCap int, span *telemetry.Span) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
+func (ins *instance) solveLP(budget int64, gap float64, stop *fault.Stopper, parallelism int, directCap int, span *telemetry.Span) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
 	gChosen, gCost := ins.greedy(budget)
 	if ins.lpVars() > directCap {
-		return ins.solveLPSifted(gChosen, gCost, budget, gap, deadline, parallelism, span)
+		return ins.solveLPSifted(gChosen, gCost, budget, gap, stop, parallelism, span)
 	}
 
 	m := lp.NewModel()
@@ -465,7 +510,8 @@ func (ins *instance) solveLP(budget int64, gap float64, deadline time.Time, para
 	}
 	res, err := lp.SolveMIP(m, lp.MIPOptions{
 		Gap:          gap,
-		Deadline:     deadline,
+		Deadline:     stop.Deadline(),
+		Context:      stop.Context(),
 		Parallelism:  parallelism,
 		Cutoff:       cutoff,
 		CrashAtUpper: crash,

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"time"
 
+	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/telemetry"
 )
@@ -167,16 +167,16 @@ func (a *ascent) ascend(lam float64) float64 {
 // search scans a geometric lambda grid around the greedy solution's average
 // savings density, then refines around the best point. It leaves the ascent
 // state (v, slack) at the best lambda and returns (bound, lambda). The
-// deadline is polled between grid points; on expiry the best bound so far
-// stands (it is valid regardless of how far the search got).
-func (a *ascent) search(gCost, baseSum float64, deadline time.Time) (float64, float64) {
+// stopper is polled between grid points; on expiry or cancellation the best
+// bound so far stands (it is valid regardless of how far the search got).
+func (a *ascent) search(gCost, baseSum float64, stop *fault.Stopper) (float64, float64) {
 	lavg := (baseSum - gCost) / float64(a.budget)
 	if lavg <= 0 {
 		lavg = 1 / float64(a.budget)
 	}
 	bestLB, bestLam := math.Inf(-1), 0.0
 	expired := func() bool {
-		return !deadline.IsZero() && time.Now().After(deadline)
+		return stop.Check() != fault.StopNone
 	}
 	for i := -14; i <= 3; i++ {
 		lam := lavg * math.Pow(2, float64(i))
@@ -244,7 +244,7 @@ func (ins *instance) lagrangeBound(vv []float64, lam float64, budget int64) floa
 
 // solveLPSifted is the large-model explicit-LP path: restrict, solve the
 // restricted MIP from the greedy incumbent, certify against the full model.
-func (ins *instance) solveLPSifted(gChosen []int, gCost float64, budget int64, gap float64, deadline time.Time, parallelism int, span *telemetry.Span) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
+func (ins *instance) solveLPSifted(gChosen []int, gCost float64, budget int64, gap float64, stop *fault.Stopper, parallelism int, span *telemetry.Span) (chosen []int, cost float64, nodes int, finalGap float64, dnf bool, err error) {
 	var baseSum float64
 	for j := range ins.base {
 		baseSum += ins.freq[j] * ins.base[j]
@@ -252,7 +252,7 @@ func (ins *instance) solveLPSifted(gChosen []int, gCost float64, budget int64, g
 
 	asp := span.Child("cophy.ascent")
 	asc := newAscent(ins, budget)
-	ascBound, lam := asc.search(gCost, baseSum, deadline)
+	ascBound, lam := asc.search(gCost, baseSum, stop)
 	asp.SetFloat("bound", ascBound)
 	asp.SetFloat("lambda", lam)
 	asp.SetInt("passes", int64(asc.passes))
@@ -374,7 +374,8 @@ func (ins *instance) solveLPSifted(gChosen []int, gCost float64, budget int64, g
 	}
 	res, err := lp.SolveMIP(mod, lp.MIPOptions{
 		Gap:          gap,
-		Deadline:     deadline,
+		Deadline:     stop.Deadline(),
+		Context:      stop.Context(),
 		Parallelism:  parallelism,
 		Incumbent:    inc,
 		CrashAtUpper: crash,

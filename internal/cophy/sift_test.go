@@ -3,7 +3,6 @@ package cophy
 import (
 	"math"
 	"testing"
-	"time"
 
 	"repro/internal/candidates"
 	"repro/internal/workload"
@@ -18,14 +17,14 @@ func TestAscentBoundBelowOptimum(t *testing.T) {
 	budget := m.Budget(0.4)
 	want := bruteForce(w, m, cands, budget)
 
-	ins := buildInstance(w, opt, cands)
+	ins := buildInstance(w, opt, cands, nil)
 	_, gCost := ins.greedy(budget)
 	var baseSum float64
 	for j := range ins.base {
 		baseSum += ins.freq[j] * ins.base[j]
 	}
 	asc := newAscent(ins, budget)
-	bound, lam := asc.search(gCost, baseSum, time.Time{})
+	bound, lam := asc.search(gCost, baseSum, nil)
 	if bound > want+1e-6*want {
 		t.Fatalf("ascent bound %v exceeds optimum %v", bound, want)
 	}

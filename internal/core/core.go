@@ -34,6 +34,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/whatif"
 	"repro/internal/workload"
@@ -102,6 +103,16 @@ type Options struct {
 	// per-Select root span); the run records one child span per construction
 	// step under it. Nil disables tracing with zero overhead.
 	Span *telemetry.Span
+	// Context, if non-nil, cancels the run: cancellation is checked at every
+	// step boundary and polled inside the parallel evaluation loop. An
+	// interrupted run is not an error — Extend is an anytime algorithm, every
+	// completed step is a feasible frontier point — so Select returns the
+	// best-so-far Result with Partial set and StopReason saying why.
+	Context context.Context
+	// Deadline is an absolute wall-clock bound with the same anytime
+	// semantics as Context; zero means none. The earlier of Deadline and the
+	// Context's own deadline wins.
+	Deadline time.Time
 }
 
 // StepKind labels a construction step.
@@ -186,6 +197,16 @@ type Result struct {
 	// round that finds no viable step still evaluates candidates but records
 	// no step.
 	Evaluated, CacheServed int
+	// StopReason says why the construction loop ended: converged (no viable
+	// candidate), budget-exhausted (viable candidates remained but none fit
+	// the memory budget), max-steps, deadline, or cancelled.
+	StopReason fault.StopReason
+	// Partial is true when the run was interrupted (deadline or cancellation)
+	// before reaching convergence. The trace is then a bit-identical prefix
+	// of what an unbounded run at the same Parallelism would produce: a step
+	// whose evaluation was in flight at the stop is discarded, never applied
+	// over partially evaluated candidates.
+	Partial bool
 }
 
 // Frontier returns the (memory, cost) point after every step, prefixed with
@@ -236,7 +257,17 @@ func (r *Result) SelectionAt(budget int64) (workload.Selection, float64, int64) 
 }
 
 // Select runs Algorithm 1 on workload w with costs served by opt.
-func Select(w *workload.Workload, opt *whatif.Optimizer, opts Options) (*Result, error) {
+//
+// Select never lets a panic escape: a panic in a serial phase or a worker
+// goroutine (e.g. a crashing cost source) is recovered and returned as a
+// *fault.WorkerPanicError, so one bad estimate cannot take down a serving
+// process.
+func Select(w *workload.Workload, opt *whatif.Optimizer, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fault.AsPanicError("core.Select", r)
+		}
+	}()
 	if opts.Budget <= 0 {
 		return nil, fmt.Errorf("core: budget must be positive (got %d)", opts.Budget)
 	}
@@ -318,6 +349,12 @@ type selector struct {
 	lastCandidates, lastEvaluated int
 	totalEvaluated, totalCached   int
 
+	// stop folds Options.Context and Options.Deadline into the sticky stop
+	// signal checked at step boundaries and polled by the evaluation workers.
+	// stopReason records why the construction loop ended.
+	stop       *fault.Stopper
+	stopReason fault.StopReason
+
 	steps []Step
 }
 
@@ -348,6 +385,7 @@ func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *sel
 		size: make(map[workload.IndexID]int64),
 	}
 	s.sel = workload.NewIDSelection(s.in)
+	s.stop = fault.NewStopper(opts.Context, opts.Deadline)
 	s.workers = resolveWorkers(opts)
 	if !opts.DisableIncremental && opts.Reconfig == nil {
 		s.gains = make(map[int]map[gainKey]gainEntry)
@@ -661,7 +699,12 @@ func (s *selector) enumerate() []evalTask {
 // pool. The reduction runs serially over the fixed enumeration order with
 // the deterministic better() tie-break, so the chosen step (and runner-up)
 // is identical for every Parallelism setting.
-func (s *selector) collect() (best, second candidate, haveSecond, ok bool) {
+//
+// If the stopper fires while the step is being evaluated, the whole in-flight
+// step is discarded (ok=false, stopReason set): applying a step decided over
+// partially evaluated candidates would break the bit-identical-prefix
+// guarantee. A worker panic surfaces as a non-nil err.
+func (s *selector) collect() (best, second candidate, haveSecond, ok bool, err error) {
 	tasks := s.enumerate()
 	s.ensure() // cover freshly interned candidates before workers start
 	results := make([]gainEntry, len(tasks))
@@ -677,15 +720,28 @@ func (s *selector) collect() (best, second candidate, haveSecond, ok bool) {
 	s.totalEvaluated += len(pending)
 	s.totalCached += len(tasks) - len(pending)
 
-	s.evalPending(tasks, results, pending)
+	if err := s.evalPending(tasks, results, pending); err != nil {
+		return candidate{}, candidate{}, false, false, err
+	}
+	if r := s.stop.Check(); r != fault.StopNone {
+		// Some pending results may be missing (workers drained); discard the
+		// step rather than caching or reducing over an incomplete evaluation.
+		s.stopReason = r
+		return candidate{}, candidate{}, false, false, nil
+	}
 
 	for _, i := range pending {
 		s.storeGain(tasks[i], results[i])
 	}
 
+	budgetExcluded := false
 	for _, r := range results {
 		c := r.c
-		if !r.ok || s.mem+c.deltaMem > s.opts.Budget {
+		if !r.ok {
+			continue
+		}
+		if s.mem+c.deltaMem > s.opts.Budget {
+			budgetExcluded = true
 			continue
 		}
 		if !ok || better(c, best) {
@@ -697,7 +753,14 @@ func (s *selector) collect() (best, second candidate, haveSecond, ok bool) {
 			second, haveSecond = c, true
 		}
 	}
-	return best, second, haveSecond, ok
+	if !ok {
+		if budgetExcluded {
+			s.stopReason = fault.StopBudget
+		} else {
+			s.stopReason = fault.StopConverged
+		}
+	}
+	return best, second, haveSecond, ok, nil
 }
 
 // cachedGain looks up a previously evaluated candidate. Only gains whose
@@ -960,14 +1023,23 @@ func (s *selector) run() (*Result, error) {
 	initial := s.total()
 	for {
 		if s.opts.MaxSteps > 0 && len(s.steps) >= s.opts.MaxSteps {
+			s.stopReason = fault.StopMaxSteps
+			break
+		}
+		if r := s.stop.Check(); r != fault.StopNone {
+			s.stopReason = r
 			break
 		}
 		sp := s.opts.Span.Child("extend.step")
 		stepStart := time.Now()
-		best, second, haveSecond, ok := s.collect()
+		best, second, haveSecond, ok, err := s.collect()
+		if err != nil {
+			sp.Discard()
+			return nil, err
+		}
 		if !ok {
 			sp.Discard()
-			break
+			break // collect set stopReason
 		}
 		s.apply(best, second, haveSecond)
 		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
@@ -984,6 +1056,8 @@ func (s *selector) run() (*Result, error) {
 		Workers:     s.workers,
 		Evaluated:   s.totalEvaluated,
 		CacheServed: s.totalCached,
+		StopReason:  s.stopReason,
+		Partial:     s.stopReason.Interrupted(),
 	}
 	logRun(res)
 	return res, nil
@@ -1064,6 +1138,11 @@ func (s *selector) runMultiIndex() (*Result, error) {
 
 	for {
 		if s.opts.MaxSteps > 0 && len(steps) >= s.opts.MaxSteps {
+			s.stopReason = fault.StopMaxSteps
+			break
+		}
+		if r := s.stop.Check(); r != fault.StopNone {
+			s.stopReason = r
 			break
 		}
 		sp := s.opts.Span.Child("extend.step")
@@ -1109,10 +1188,26 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		var bestCost float64
 		var bestMem int64
 		evaluated := 0
+		budgetExcluded := false
 		for i := range cands {
+			// Whole-selection evaluations are the expensive unit here; poll
+			// between them and discard the in-flight step on stop.
+			if r := s.stop.Check(); r != fault.StopNone {
+				s.stopReason = r
+				best = nil
+				break
+			}
 			c := &cands[i]
 			mem := selSize(c.sel)
-			if mem > s.opts.Budget || mem <= curMem {
+			if mem > s.opts.Budget {
+				if mem > curMem {
+					// Approximate: the candidate was never cost-evaluated, so
+					// "viable but over budget" is judged on memory alone.
+					budgetExcluded = true
+				}
+				continue
+			}
+			if mem <= curMem {
 				continue
 			}
 			evaluated++
@@ -1128,6 +1223,13 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		}
 		if best == nil {
 			sp.Discard()
+			if s.stopReason == fault.StopNone {
+				if budgetExcluded {
+					s.stopReason = fault.StopBudget
+				} else {
+					s.stopReason = fault.StopConverged
+				}
+			}
 			break
 		}
 		steps = append(steps, Step{
@@ -1155,6 +1257,8 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		Memory:      curMem,
 		Workers:     1,
 		Evaluated:   s.totalEvaluated,
+		StopReason:  s.stopReason,
+		Partial:     s.stopReason.Interrupted(),
 	}
 	logRun(res)
 	return res, nil

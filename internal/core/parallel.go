@@ -13,8 +13,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
+
+// stopCheckStride is how many tasks a worker claims between full
+// Stopper.Check polls (clock + context); the cheap sticky Stopped load runs
+// on every claim. Powers of two keep the modulo a mask.
+const stopCheckStride = 32
 
 // evalPending evaluates tasks[i] for every i in pending, storing into
 // results[i]. With one worker (or one task) it runs inline; otherwise the
@@ -22,17 +28,35 @@ import (
 // Each candidate's gain is computed wholly by one goroutine — there is no
 // cross-goroutine floating-point accumulation — so results are bit-identical
 // to a serial run.
-func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []int) {
+//
+// Two failure paths cut the evaluation short. If the run's Stopper fires,
+// workers drain: each checks the sticky flag before claiming another task and
+// returns, leaving the remaining results unset — the caller discards the
+// whole step, so partially filled results are never reduced over. If a
+// candidate evaluation panics (a crashing cost source), the panic is
+// recovered in the worker that hit it, converted to a *fault.WorkerPanicError
+// (first one wins, stack captured), the other workers drain cleanly, and the
+// error is returned once.
+func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []int) (err error) {
 	workers := s.workers
 	if workers > len(pending) {
 		workers = len(pending)
 	}
 	if workers <= 1 {
-		for _, i := range pending {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fault.AsPanicError("core.evalCandidate", r)
+			}
+		}()
+		for n, i := range pending {
+			if n%stopCheckStride == 0 && s.stop.Check() != fault.StopNone {
+				return nil
+			}
 			results[i].c, results[i].ok = s.evalCandidate(tasks[i])
 		}
-		return
+		return nil
 	}
+	var panicErr atomic.Pointer[fault.WorkerPanicError]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -40,16 +64,34 @@ func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []
 		go func() {
 			defer wg.Done()
 			for {
+				if panicErr.Load() != nil || s.stop.Stopped() {
+					return // drain: a sibling panicked or the run was stopped
+				}
 				j := int(next.Add(1)) - 1
 				if j >= len(pending) {
 					return
 				}
+				if j%stopCheckStride == 0 && s.stop.Check() != fault.StopNone {
+					return
+				}
 				i := pending[j]
-				results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pe := fault.AsPanicError("core.evalCandidate", r)
+							panicErr.CompareAndSwap(nil, pe)
+						}
+					}()
+					results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if pe := panicErr.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }
 
 // tablePage is the entry count of one page of the flat per-ID tables below.

@@ -151,7 +151,10 @@ func TestIncrementalReducesReevaluations(t *testing.T) {
 	s := newSelector(w, whatif.New(m), Options{Budget: m.Budget(0.5), Parallelism: 1})
 	s.initTopNSingle()
 	// First step: everything evaluated, cache populated.
-	best, second, haveSecond, ok := s.collect()
+	best, second, haveSecond, ok, err := s.collect()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("no candidate found")
 	}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/whatif"
 	"repro/internal/workload"
 )
@@ -48,6 +49,12 @@ type refSelector struct {
 	lastCandidates, lastEvaluated int
 	totalEvaluated, totalCached   int
 
+	// stop/stopReason mirror the interned selector's anytime machinery; the
+	// reference oracle must honor the same contract so differential runs stay
+	// comparable under deadlines.
+	stop       *fault.Stopper
+	stopReason fault.StopReason
+
 	steps []Step
 }
 
@@ -70,6 +77,7 @@ func newRefSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *
 		size:     make(map[string]int64),
 		candCost: newShardedCache[[]float64](),
 	}
+	s.stop = fault.NewStopper(opts.Context, opts.Deadline)
 	s.workers = resolveWorkers(opts)
 	if !opts.DisableIncremental && opts.Reconfig == nil {
 		s.gains = make(map[int]map[refGainKey]refGainEntry)
@@ -302,7 +310,7 @@ func (s *refSelector) enumerate() []refEvalTask {
 	return tasks
 }
 
-func (s *refSelector) collect() (best, second refCandidate, haveSecond, ok bool) {
+func (s *refSelector) collect() (best, second refCandidate, haveSecond, ok bool, err error) {
 	tasks := s.enumerate()
 	results := make([]refGainEntry, len(tasks))
 	pending := make([]int, 0, len(tasks))
@@ -317,15 +325,26 @@ func (s *refSelector) collect() (best, second refCandidate, haveSecond, ok bool)
 	s.totalEvaluated += len(pending)
 	s.totalCached += len(tasks) - len(pending)
 
-	s.evalPending(tasks, results, pending)
+	if err := s.evalPending(tasks, results, pending); err != nil {
+		return refCandidate{}, refCandidate{}, false, false, err
+	}
+	if r := s.stop.Check(); r != fault.StopNone {
+		s.stopReason = r
+		return refCandidate{}, refCandidate{}, false, false, nil
+	}
 
 	for _, i := range pending {
 		s.storeGain(tasks[i], results[i])
 	}
 
+	budgetExcluded := false
 	for _, r := range results {
 		c := r.c
-		if !r.ok || s.mem+c.deltaMem > s.opts.Budget {
+		if !r.ok {
+			continue
+		}
+		if s.mem+c.deltaMem > s.opts.Budget {
+			budgetExcluded = true
 			continue
 		}
 		if !ok || refBetter(c, best) {
@@ -337,21 +356,38 @@ func (s *refSelector) collect() (best, second refCandidate, haveSecond, ok bool)
 			second, haveSecond = c, true
 		}
 	}
-	return best, second, haveSecond, ok
+	if !ok {
+		if budgetExcluded {
+			s.stopReason = fault.StopBudget
+		} else {
+			s.stopReason = fault.StopConverged
+		}
+	}
+	return best, second, haveSecond, ok, nil
 }
 
-// evalPending mirrors selector.evalPending for the reference types.
-func (s *refSelector) evalPending(tasks []refEvalTask, results []refGainEntry, pending []int) {
+// evalPending mirrors selector.evalPending for the reference types, including
+// the stop-drain and panic-recovery behavior.
+func (s *refSelector) evalPending(tasks []refEvalTask, results []refGainEntry, pending []int) (err error) {
 	workers := s.workers
 	if workers > len(pending) {
 		workers = len(pending)
 	}
 	if workers <= 1 {
-		for _, i := range pending {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fault.AsPanicError("core.evalCandidate", r)
+			}
+		}()
+		for n, i := range pending {
+			if n%stopCheckStride == 0 && s.stop.Check() != fault.StopNone {
+				return nil
+			}
 			results[i].c, results[i].ok = s.evalCandidate(tasks[i])
 		}
-		return
+		return nil
 	}
+	var panicErr atomic.Pointer[fault.WorkerPanicError]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -359,16 +395,34 @@ func (s *refSelector) evalPending(tasks []refEvalTask, results []refGainEntry, p
 		go func() {
 			defer wg.Done()
 			for {
+				if panicErr.Load() != nil || s.stop.Stopped() {
+					return
+				}
 				j := int(next.Add(1)) - 1
 				if j >= len(pending) {
 					return
 				}
+				if j%stopCheckStride == 0 && s.stop.Check() != fault.StopNone {
+					return
+				}
 				i := pending[j]
-				results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pe := fault.AsPanicError("core.evalCandidate", r)
+							panicErr.CompareAndSwap(nil, pe)
+						}
+					}()
+					results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if pe := panicErr.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }
 
 func (s *refSelector) cachedGain(t refEvalTask) (refGainEntry, bool) {
@@ -608,14 +662,23 @@ func (s *refSelector) run() (*Result, error) {
 	initial := s.total()
 	for {
 		if s.opts.MaxSteps > 0 && len(s.steps) >= s.opts.MaxSteps {
+			s.stopReason = fault.StopMaxSteps
+			break
+		}
+		if r := s.stop.Check(); r != fault.StopNone {
+			s.stopReason = r
 			break
 		}
 		sp := s.opts.Span.Child("extend.step")
 		stepStart := time.Now()
-		best, second, haveSecond, ok := s.collect()
+		best, second, haveSecond, ok, err := s.collect()
+		if err != nil {
+			sp.Discard()
+			return nil, err
+		}
 		if !ok {
 			sp.Discard()
-			break
+			break // collect set stopReason
 		}
 		s.apply(best, second, haveSecond)
 		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
@@ -632,6 +695,8 @@ func (s *refSelector) run() (*Result, error) {
 		Workers:     s.workers,
 		Evaluated:   s.totalEvaluated,
 		CacheServed: s.totalCached,
+		StopReason:  s.stopReason,
+		Partial:     s.stopReason.Interrupted(),
 	}
 	logRun(res)
 	return res, nil

@@ -97,8 +97,24 @@ func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 		ms.building[id] = done
 		ms.mu.Unlock()
 
+		// If the build panics (a corrupt index spec, a bug in the sort), the
+		// in-flight entry must not leak: waiters parked on done would hang
+		// forever and every later request for this id would join them. Clean
+		// up, release the waiters (they will retry and re-panic or succeed),
+		// and let the panic continue to the strategy-level recovery.
+		ok := false
+		defer func() {
+			if !ok {
+				ms.mu.Lock()
+				delete(ms.building, id)
+				ms.mu.Unlock()
+				close(done)
+			}
+		}()
+
 		start := time.Now()
 		built := ms.db.BuildIndex(k)
+		ok = true
 		elapsed := time.Since(start)
 		mBuilds.Inc()
 		mBuildDur.Observe(elapsed.Seconds())

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestBuildPanicReleasesWaiters: a panicking index build must not leak its
+// in-flight dedup entry. Before the cleanup existed, a second request for the
+// same index would park on the never-closed done channel forever.
+func TestBuildPanicReleasesWaiters(t *testing.T) {
+	w := testWorkload(t, 1000)
+	db, err := New(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMeasuredSource(db, 1)
+
+	// An attribute ID no table owns: BuildIndex sorts against a nil column
+	// and panics mid-build, after the dedup entry is registered.
+	bogus := workload.Index{Table: 0, Attrs: []int{1 << 30}}
+	mustPanic := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		ms.index(bogus)
+		return false
+	}
+	if !mustPanic() {
+		t.Skip("bogus index did not panic BuildIndex; nothing to clean up")
+	}
+
+	// The retry must reach BuildIndex again (and panic again) rather than
+	// blocking on the leaked entry.
+	retried := make(chan bool, 1)
+	go func() { retried <- mustPanic() }()
+	select {
+	case again := <-retried:
+		if !again {
+			t.Error("second build attempt did not panic; expected identical failure")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second request for the failed index hung: in-flight build entry leaked")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/whatif"
 	"repro/internal/workload"
@@ -83,6 +84,15 @@ type Options struct {
 	// Span, if non-nil, is the parent telemetry span; the run records its
 	// phases (heuristics.skyline when enabled, heuristics.rank) under it.
 	Span *telemetry.Span
+	// Context, if non-nil, interrupts the run on cancellation or context
+	// deadline. The expensive phases (skyline filtering and H4/H5 benefit
+	// scoring) poll it and truncate to the candidates already evaluated, so an
+	// interrupted run still returns a feasible selection over the scored
+	// prefix with Result.Partial set — not an error.
+	Context context.Context
+	// Deadline, if non-zero, is an explicit wall-clock deadline folded with
+	// the context's (the earlier wins).
+	Deadline time.Time
 }
 
 // Result is a heuristic's selection with its evaluation.
@@ -94,10 +104,22 @@ type Result struct {
 	Memory int64
 	// Considered is the number of candidates ranked after any pre-filter.
 	Considered int
+	// StopReason says how the run ended; StopConverged when the full ranked
+	// scan completed.
+	StopReason fault.StopReason
+	// Partial is set when the run was interrupted (deadline or cancellation)
+	// and the selection covers only the candidates scored before the cut.
+	Partial bool
 }
 
-// Select runs the given heuristic over the candidate set.
-func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, rule Rule, opts Options) (*Result, error) {
+// Select runs the given heuristic over the candidate set. A panic inside the
+// cost source is recovered and returned as a *fault.WorkerPanicError.
+func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, rule Rule, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fault.AsPanicError("heuristics.Select", r)
+		}
+	}()
 	if opts.Budget <= 0 {
 		return nil, fmt.Errorf("heuristics: budget must be positive (got %d)", opts.Budget)
 	}
@@ -105,16 +127,20 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		return nil, fmt.Errorf("heuristics: unknown rule %d", int(rule))
 	}
 	start := time.Now()
+	stop := fault.NewStopper(opts.Context, opts.Deadline)
 	pool := cands
 	if opts.Skyline {
 		ssp := opts.Span.Child("heuristics.skyline")
-		pool = SkylineFilter(w, opt, pool)
+		pool = skylineFilter(w, opt, pool, stop)
 		ssp.SetInt("candidates_before", int64(len(cands)))
 		ssp.SetInt("candidates_after", int64(len(pool)))
 		ssp.End()
 	}
 	rsp := opts.Span.Child("heuristics.rank")
-	scores := score(w, opt, pool, rule)
+	scores := score(w, opt, pool, rule, stop)
+	// An interruption mid-scoring leaves a scored prefix; rank only that
+	// prefix so every selected candidate carries a fully evaluated score.
+	pool = pool[:len(scores)]
 	order := make([]int, len(pool))
 	for i := range order {
 		order[i] = i
@@ -149,11 +175,17 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		mem += sz
 	}
 	sel := ids.Selection()
-	res := &Result{
+	reason := stop.Check()
+	if reason == fault.StopNone {
+		reason = fault.StopConverged
+	}
+	res = &Result{
 		Selection:  sel,
 		Cost:       TotalCost(w, opt, sel),
 		Memory:     mem,
 		Considered: len(pool),
+		StopReason: reason,
+		Partial:    reason.Interrupted(),
 	}
 	rsp.SetStr("rule", rule.String())
 	rsp.SetInt("considered", int64(res.Considered))
@@ -171,7 +203,11 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 }
 
 // score computes a "higher is better" score per candidate for the rule.
-func score(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, rule Rule) []float64 {
+// H4/H5 pay a what-if call per applicable (query, candidate) pair, so the
+// stopper is polled between candidates; on interruption the returned slice is
+// the fully-scored prefix (shorter than cands). H1-H3 are arithmetic only and
+// always score everything.
+func score(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, rule Rule, stop *fault.Stopper) []float64 {
 	scores := make([]float64, len(cands))
 	switch rule {
 	case H1, H2, H3:
@@ -196,6 +232,9 @@ func score(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 		}
 	case H4, H5:
 		for i, k := range cands {
+			if stop.Check() != fault.StopNone {
+				return scores[:i]
+			}
 			b := Benefit(w, opt, k)
 			if rule == H4 {
 				scores[i] = b
@@ -295,6 +334,13 @@ func TotalCost(w *workload.Workload, opt *whatif.Optimizer, sel workload.Selecti
 // applicable with f_q(k) < f_q(0)) where no other candidate has both cost
 // and size at most k's with one strictly better (cf. Kimura et al. [11]).
 func SkylineFilter(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index) []workload.Index {
+	return skylineFilter(w, opt, cands, nil)
+}
+
+// skylineFilter is SkylineFilter with interruption: the per-candidate cost
+// probing polls the stopper and, once stopped, considers only the candidates
+// probed so far — a valid (smaller) skyline over the evaluated prefix.
+func skylineFilter(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, stop *fault.Stopper) []workload.Index {
 	type entry struct {
 		idx  int
 		cost float64
@@ -303,6 +349,9 @@ func SkylineFilter(w *workload.Workload, opt *whatif.Optimizer, cands []workload
 	survives := make([]bool, len(cands))
 	byQuery := make(map[int][]entry)
 	for i, k := range cands {
+		if stop.Check() != fault.StopNone {
+			break
+		}
 		for _, qid := range queriesWithLead(w, k) {
 			q := w.Queries[qid]
 			c := opt.CostWithIndex(q, k)

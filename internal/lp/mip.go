@@ -2,6 +2,7 @@ package lp
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -23,6 +25,12 @@ type MIPOptions struct {
 	// DNF set. Zero means no deadline. The deadline is polled inside
 	// simplex iterations, so a single long LP cannot overrun it.
 	Deadline time.Time
+	// Context, if non-nil, cancels the search with the same graceful
+	// degradation as Deadline: it is checked in the serial reducer loop
+	// between node batches, and its own deadline (if earlier) is merged into
+	// Deadline so even a single long LP honors it. On cancellation the
+	// incumbent (if any) is returned with DNF set — never an error.
+	Context context.Context
 	// MaxNodes bounds the number of explored nodes; 0 means unlimited.
 	// Hitting the limit before the gap is proven sets DNF.
 	MaxNodes int
@@ -148,6 +156,9 @@ type nodeResult struct {
 	iters    int
 	refacts  int
 	warm     bool
+	// panicErr is set when the node LP solve panicked; the reducer surfaces
+	// the first one in batch order and aborts the search.
+	panicErr *fault.WorkerPanicError
 }
 
 // bbBatch is the dispatch batch size. It is intentionally independent of
@@ -159,7 +170,16 @@ const bbBatch = 8
 // using warm-started parallel branch and bound: best-bound node selection,
 // dual-simplex re-solves from the parent basis, pseudo-cost branching, and
 // a deterministic serial reducer.
-func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
+//
+// SolveMIP never lets a panic escape: a panic inside a node LP solve (on any
+// worker goroutine) or the reducer is recovered and returned as a
+// *fault.WorkerPanicError.
+func SolveMIP(m *Model, opts MIPOptions) (res *MIPResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fault.AsPanicError("lp.SolveMIP", r)
+		}
+	}()
 	if m.NumVars() == 0 {
 		return &MIPResult{Solution: Solution{Status: Optimal}}, nil
 	}
@@ -167,6 +187,10 @@ func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// stop folds Context and Deadline; deadline is the merged wall-clock
+	// bound polled inside simplex iterations.
+	stop := fault.NewStopper(opts.Context, opts.Deadline)
+	deadline := stop.Deadline()
 
 	p := compile(m)
 	span := opts.Span.Child("lp.mip")
@@ -188,7 +212,7 @@ func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
 		xbufs[i] = make([]float64, p.n)
 	}
 
-	res := &MIPResult{
+	res = &MIPResult{
 		Solution: Solution{Status: Infeasible},
 		Bound:    math.Inf(-1),
 	}
@@ -269,7 +293,9 @@ func SolveMIP(m *Model, opts MIPOptions) (*MIPResult, error) {
 
 search:
 	for open.Len() > 0 {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+		if stop.Check() != fault.StopNone {
+			// Deadline or cancellation: degrade gracefully — keep the
+			// incumbent and the proven bound, flag DNF.
 			res.DNF = true
 			break
 		}
@@ -313,7 +339,7 @@ search:
 		// count and scheduling.
 		if workers == 1 || len(batch) == 1 {
 			for i, nd := range batch {
-				results[i] = solveNode(solvers[0], m, p, nd, opts.Deadline, intVars, xbufs[0])
+				results[i] = solveNodeSafe(solvers[0], m, p, nd, deadline, intVars, xbufs[0])
 			}
 		} else {
 			var cursor atomic.Int64
@@ -331,11 +357,22 @@ search:
 						if i >= int64(len(batch)) {
 							return
 						}
-						results[i] = solveNode(solvers[w], m, p, batch[i], opts.Deadline, intVars, xbufs[w])
+						results[i] = solveNodeSafe(solvers[w], m, p, batch[i], deadline, intVars, xbufs[w])
 					}
 				}(w)
 			}
 			wg.Wait()
+		}
+
+		// Surface the first panic in batch order before reducing: every
+		// worker has already returned (drained cleanly), and a batch with a
+		// crashed node must not feed incumbent or branching decisions.
+		for i := range batch {
+			if pe := results[i].panicErr; pe != nil {
+				bsp.End()
+				span.End()
+				return nil, pe
+			}
 		}
 
 		// Serial reduce, in batch order: all search state mutates here.
@@ -498,6 +535,18 @@ search:
 		"Branch-and-bound nodes discarded by bound before their LP solve.").Add(int64(res.NodesPruned))
 
 	return res, nil
+}
+
+// solveNodeSafe runs solveNode with panic isolation: a panicking node solve
+// on a worker goroutine is converted into a nodeResult carrying the
+// structured error instead of crashing the process.
+func solveNodeSafe(s *sparseSolver, m *Model, p *prob, nd *bbNode, deadline time.Time, intVars []int32, xbuf []float64) (r nodeResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r = nodeResult{panicErr: fault.AsPanicError("lp.solveNode", rec)}
+		}
+	}()
+	return solveNode(s, m, p, nd, deadline, intVars, xbuf)
 }
 
 // solveNode solves one node LP on a worker-owned solver. It is the only

@@ -65,7 +65,7 @@ func (o *Optimizer) refBaseCost(q workload.Query) float64 {
 		return c
 	}
 	o.calls.Add(1)
-	c = o.src.BaseCost(q)
+	c = sanitizeCost(o.src.BaseCost(q))
 	t.mu.Lock()
 	t.baseCache[q.ID] = c
 	t.mu.Unlock()
@@ -83,7 +83,7 @@ func (o *Optimizer) refCostWithIndex(q workload.Query, k workload.Index) float64
 		return c
 	}
 	o.calls.Add(1)
-	c := o.src.CostWithIndex(q, k)
+	c := sanitizeCost(o.src.CostWithIndex(q, k))
 	shard.put(key, c)
 	return c
 }
@@ -97,7 +97,7 @@ func (o *Optimizer) refMaintenanceCost(q workload.Query, k workload.Index) float
 	if c, ok := shard.get(key); ok {
 		return c
 	}
-	c := o.src.MaintenanceCost(q, k)
+	c := sanitizeCost(o.src.MaintenanceCost(q, k))
 	shard.put(key, c)
 	return c
 }
@@ -111,7 +111,7 @@ func (o *Optimizer) refIndexSize(k workload.Index) int64 {
 	if ok {
 		return s
 	}
-	s = o.src.IndexSize(k)
+	s = sanitizeSize(o.src.IndexSize(k))
 	t.mu.Lock()
 	t.sizeCache[key] = s
 	t.mu.Unlock()

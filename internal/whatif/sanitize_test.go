@@ -1,0 +1,106 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+// badSource wraps a real source and replaces every cost with Cost and every
+// size with Size, exercising the sanitization boundary.
+type badSource struct {
+	Source
+	Cost float64
+	Size int64
+}
+
+func (b badSource) BaseCost(q workload.Query) float64 { return b.Cost }
+func (b badSource) CostWithIndex(q workload.Query, k workload.Index) float64 {
+	return b.Cost
+}
+func (b badSource) QueryCost(q workload.Query, sel workload.Selection) float64 {
+	return b.Cost
+}
+func (b badSource) MaintenanceCost(q workload.Query, k workload.Index) float64 {
+	return b.Cost
+}
+func (b badSource) IndexSize(k workload.Index) int64 { return b.Size }
+
+func TestSanitizeCostBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"nan", math.NaN(), costCap},
+		{"plus-inf", math.Inf(1), costCap},
+		{"minus-inf", math.Inf(-1), 0},
+		{"negative", -12.5, 0},
+		{"over-cap", costCap * 10, costCap},
+		{"zero", 0, 0},
+		{"normal", 42.5, 42.5},
+	}
+	forEachBackend(t, func(t *testing.T, mk func(Source) *Optimizer) {
+		w := testWorkload(t)
+		model := costmodel.New(w, costmodel.SingleIndex)
+		for _, tc := range cases {
+			t.Run(tc.name, func(t *testing.T) {
+				o := mk(badSource{Source: model, Cost: tc.in, Size: 64})
+				q := w.Queries[0]
+				k := workload.MustIndex(w, q.Attrs[0])
+				if got := o.BaseCost(q); got != tc.want {
+					t.Errorf("BaseCost = %v, want %v", got, tc.want)
+				}
+				if got := o.CostWithIndex(q, k); got != tc.want {
+					t.Errorf("CostWithIndex = %v, want %v", got, tc.want)
+				}
+				if got := o.QueryCost(q, workload.Selection{k.Key(): k}); got != tc.want {
+					t.Errorf("QueryCost = %v, want %v", got, tc.want)
+				}
+				// Cached reads serve the sanitized value, not the raw one.
+				if got := o.CostWithIndex(q, k); got != tc.want {
+					t.Errorf("cached CostWithIndex = %v, want %v", got, tc.want)
+				}
+			})
+		}
+	})
+}
+
+func TestSanitizeSizeBoundary(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(Source) *Optimizer) {
+		w := testWorkload(t)
+		model := costmodel.New(w, costmodel.SingleIndex)
+		o := mk(badSource{Source: model, Cost: 1, Size: -100})
+		k := workload.MustIndex(w, w.Queries[0].Attrs[0])
+		if got := o.IndexSize(k); got != 0 {
+			t.Errorf("negative IndexSize = %d, want clamp to 0", got)
+		}
+	})
+}
+
+func TestSanitizeCountsAnomalies(t *testing.T) {
+	w := testWorkload(t)
+	model := costmodel.New(w, costmodel.SingleIndex)
+	o := New(badSource{Source: model, Cost: math.NaN(), Size: -1})
+	q := w.Queries[0]
+	k := workload.MustIndex(w, q.Attrs[0])
+
+	before := mCostAnomalies.Value()
+	o.BaseCost(q)
+	o.CostWithIndex(q, k)
+	o.IndexSize(k)
+	got := mCostAnomalies.Value() - before
+	if got != 3 {
+		t.Errorf("anomaly counter advanced by %d, want 3", got)
+	}
+	// Cache hits must not re-count.
+	before = mCostAnomalies.Value()
+	o.BaseCost(q)
+	o.CostWithIndex(q, k)
+	o.IndexSize(k)
+	if d := mCostAnomalies.Value() - before; d != 0 {
+		t.Errorf("cached reads advanced anomaly counter by %d, want 0", d)
+	}
+}

@@ -92,6 +92,12 @@ func shardOf(query int) uint32 {
 // results are identical (sources are deterministic), so the cache stays
 // consistent — only the Calls counter can exceed the distinct-evaluation
 // count in that (rare) case.
+//
+// Every value a Source returns is sanitized before caching (see sanitize.go):
+// NaN/±Inf/negative costs and negative sizes are clamped and counted in
+// indexsel_cost_anomalies_total, so a broken estimator cannot poison the gain
+// cache or the frontier. Both backends apply identical sanitization, keeping
+// the differential-oracle contract intact.
 type Optimizer struct {
 	src Source
 	in  *workload.Interner
@@ -133,7 +139,7 @@ func (o *Optimizer) BaseCost(q workload.Query) float64 {
 		return c
 	}
 	o.calls.Add(1)
-	c := o.src.BaseCost(q)
+	c := sanitizeCost(o.src.BaseCost(q))
 	o.flat.basePut(q.ID, c)
 	return c
 }
@@ -172,7 +178,7 @@ func (o *Optimizer) costWithInterned(q workload.Query, k workload.Index, id work
 		return c
 	}
 	o.calls.Add(1)
-	c := o.src.CostWithIndex(q, k)
+	c := sanitizeCost(o.src.CostWithIndex(q, k))
 	shard.put(q.ID, key, c)
 	return c
 }
@@ -181,7 +187,7 @@ func (o *Optimizer) costWithInterned(q workload.Query, k workload.Index, id work
 // (selections rarely repeat); each evaluation counts as one call.
 func (o *Optimizer) QueryCost(q workload.Query, sel workload.Selection) float64 {
 	o.calls.Add(1)
-	return o.src.QueryCost(q, sel)
+	return sanitizeCost(o.src.QueryCost(q, sel))
 }
 
 // MaintenanceCost returns the write-maintenance cost of (q, k), cached.
@@ -214,7 +220,7 @@ func (o *Optimizer) maintInterned(q workload.Query, k workload.Index, id workloa
 	if c, ok := shard.get(key); ok {
 		return c
 	}
-	c := o.src.MaintenanceCost(q, k)
+	c := sanitizeCost(o.src.MaintenanceCost(q, k))
 	shard.put(q.ID, key, c)
 	return c
 }
@@ -240,7 +246,7 @@ func (o *Optimizer) sizeInterned(k workload.Index, id workload.IndexID) int64 {
 	if s, ok := o.flat.sizeGet(id); ok {
 		return s
 	}
-	s := o.src.IndexSize(k)
+	s := sanitizeSize(o.src.IndexSize(k))
 	o.flat.sizePut(id, s)
 	return s
 }

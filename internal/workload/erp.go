@@ -187,7 +187,8 @@ func GenerateERP(cfg ERPConfig) (*Workload, error) {
 	return New(tables, attrs, queries)
 }
 
-// MustGenerateERP is GenerateERP that panics on error.
+// MustGenerateERP is GenerateERP that panics on error; intended for tests and
+// examples with known-good configs.
 func MustGenerateERP(cfg ERPConfig) *Workload {
 	w, err := GenerateERP(cfg)
 	if err != nil {

@@ -97,12 +97,16 @@ func TPCC(warehouses int64) (*Workload, error) {
 	for ti, ts := range specs {
 		tableID[ts.name] = ti
 	}
+	var mkErr error
 	mk := func(id int, freq int64, cols ...string) Query {
 		q := Query{ID: id, Table: -1, Freq: freq}
 		for _, c := range cols {
 			a, ok := byName[c]
 			if !ok {
-				panic("workload: unknown TPC-C column " + c)
+				if mkErr == nil {
+					mkErr = fmt.Errorf("workload: unknown TPC-C column %s", c)
+				}
+				continue
 			}
 			if q.Table == -1 {
 				q.Table = attrs[a].Table
@@ -127,10 +131,13 @@ func TPCC(warehouses int64) (*Workload, error) {
 		mk(8, 4, "ORD.C_ID", "ORD.W_ID", "ORD.D_ID"),                      // q9: order-status — last order of customer
 		mk(9, 98, "DIST.W_ID", "DIST.ID"),                                 // q10: district point access
 	}
+	if mkErr != nil {
+		return nil, mkErr
+	}
 	return New(tables, attrs, queries)
 }
 
-// MustTPCC is TPCC that panics on error.
+// MustTPCC is TPCC that panics on error; intended for tests and examples.
 func MustTPCC(warehouses int64) *Workload {
 	w, err := TPCC(warehouses)
 	if err != nil {

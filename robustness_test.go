@@ -1,6 +1,7 @@
 package indexsel
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -36,6 +37,74 @@ func TestNoisyCostRobustness(t *testing.T) {
 			t.Errorf("eps %v: true cost %v degraded beyond 1+2eps vs clean %v",
 				eps, trueCost, clean.Cost)
 		}
+	}
+}
+
+// TestNoisyCostInternedFastPath: the interned per-ID cost path must serve the
+// SAME (sanitized, perturbed) values as the generic entry point — the noise
+// and the sanitization both key off the (query, index) identity, never the
+// call route, so the incremental evaluator and a from-scratch evaluation see
+// one consistent noisy world.
+func TestNoisyCostInternedFastPath(t *testing.T) {
+	w := smallWorkload(t)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	cands, err := AllCandidates(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := whatif.New(whatif.NoisySource{Src: m, Eps: 0.2, Seed: 17})
+	in := opt.Interner()
+	checked := 0
+	for _, k := range cands {
+		id := in.Intern(k)
+		for _, q := range w.Queries {
+			a := opt.CostWithInterned(q, k, id)
+			b := opt.CostWithIndex(q, k)
+			if a != b {
+				t.Fatalf("interned cost %v != generic cost %v for (q%d, %s)", a, b, q.ID, k.Key())
+			}
+			checked++
+		}
+		if opt.IndexSizeInterned(k, id) != opt.IndexSize(k) {
+			t.Fatalf("interned size differs for %s", k.Key())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no (query, candidate) pair checked")
+	}
+}
+
+// TestNoisyCostRobustnessMeasured runs Extend over a NOISY MeasuredSource —
+// engine-executed costs perturbed like inaccurate estimates — and checks the
+// run still yields a budget-feasible selection with a sane cost. Measured
+// sources force whole-selection (exact) evaluation, so this exercises the
+// QueryCost noise path the analytic test above never hits.
+func TestNoisyCostRobustnessMeasured(t *testing.T) {
+	w := smallWorkload(t)
+	db, err := NewDB(w, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := NewMeasuredSource(db, 5)
+	budget := ms.Budget(0.3)
+	noisy := whatif.NoisySource{Src: ms, Eps: 0.15, Seed: 31}
+	opt := whatif.New(noisy)
+	res, err := core.Select(w, opt, core.Options{Budget: budget, ExactEvaluation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem int64
+	for _, k := range res.Selection {
+		mem += ms.IndexSize(k) // true catalog sizes; noise never touches sizes
+	}
+	if mem > budget {
+		t.Errorf("true memory %d exceeds budget %d", mem, budget)
+	}
+	if math.IsNaN(res.Cost) || math.IsInf(res.Cost, 0) || res.Cost < 0 {
+		t.Errorf("cost %v not sane", res.Cost)
+	}
+	if res.Cost > res.InitialCost {
+		t.Errorf("selection cost %v worse than no indexes (%v)", res.Cost, res.InitialCost)
 	}
 }
 
