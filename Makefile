@@ -1,6 +1,6 @@
 # Developer entry points. `make bench-core` records the BenchmarkSelect
-# matrix (serial/parallel x full/incremental candidate evaluation) as
-# results/BENCH_core.json; `make bench-lp` records branch-and-bound node
+# matrix (serial/parallel x full/eager-incremental/lazy candidate
+# evaluation) as results/BENCH_core.json; `make bench-lp` records branch-and-bound node
 # throughput (sparse warm-started vs dense cold-start) as
 # results/BENCH_lp.json; `make bench-whatif` records the what-if hot-path
 # microbenchmarks (cached/cold probes, applicability checks, selection
@@ -10,7 +10,7 @@
 
 GO ?= go
 BENCH_COUNT ?= 3
-BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental)$$
+BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental|Lazy|ParallelLazy)$$
 BENCH_LP_PATTERN := ^BenchmarkMIP(Sparse|Dense)$$
 BENCH_WHATIF_PATTERN := ^Benchmark(WhatifCachedProbe|WhatifColdProbe|Applicable|SelectionClone)_
 # Allocation ceilings for the what-if hot path: the flat cached probe must

@@ -87,6 +87,7 @@ type Advisor struct {
 	dominance   bool
 	extendOpts  core.Options
 	parallelism int
+	approximate float64
 	tel         *telemetry.Telemetry
 
 	model *costmodel.Model // nil when measured
@@ -155,6 +156,18 @@ func WithTelemetry(t *Telemetry) Option {
 // the Parallelism field of WithExtendOptions regardless of option order.
 func WithParallelism(n int) Option {
 	return func(ad *Advisor) { ad.parallelism = n }
+}
+
+// WithApproximate relaxes Algorithm 1's lazy step loop by eps: each
+// construction step may stop re-evaluating candidates once the best remaining
+// gain upper bound falls below bestRatio*(1+eps), so every chosen step's
+// ratio is within a (1+eps) factor of the exact maximum. Runs stay
+// deterministic at every parallelism but are no longer bit-identical to the
+// exact default (eps = 0). Ignored by strategies other than Extend and by the
+// eager/reference/multi-index paths. It overrides the Approximate field of
+// WithExtendOptions regardless of option order.
+func WithApproximate(eps float64) Option {
+	return func(ad *Advisor) { ad.approximate = eps }
 }
 
 // NewAdvisor builds an advisor for the workload.
@@ -237,6 +250,13 @@ type Recommendation struct {
 	// gains were (re)computed versus served from the incremental gain cache
 	// (StrategyExtend only).
 	Evaluated, CacheServed int
+	// Pruned totals the candidates the lazy (CELF) loop skipped because their
+	// gain upper bound could not beat the step winner (StrategyExtend only;
+	// zero on the eager and multi-index paths).
+	Pruned int
+	// Approximate echoes the lazy loop's relative relaxation eps
+	// (WithApproximate); 0 means the provably exact default.
+	Approximate float64
 	// DNF reports a CoPhy solve aborted by the time limit.
 	DNF bool
 	// Gap is CoPhy's final relative optimality gap.
@@ -360,6 +380,9 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 		if ad.parallelism != 0 {
 			opts.Parallelism = ad.parallelism
 		}
+		if ad.approximate > 0 {
+			opts.Approximate = ad.approximate
+		}
 		if ad.measured != nil {
 			opts.ExactEvaluation = true
 		}
@@ -382,6 +405,8 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 		rec.Workers = res.Workers
 		rec.Evaluated = res.Evaluated
 		rec.CacheServed = res.CacheServed
+		rec.Pruned = res.Pruned
+		rec.Approximate = res.Approximate
 		rec.StopReason = res.StopReason
 		rec.Partial = res.Partial
 

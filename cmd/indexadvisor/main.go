@@ -10,6 +10,14 @@
 //	indexadvisor -workload w.json -parallelism 8 -cpuprofile extend.pprof
 //	indexadvisor -workload w.json -metrics-addr 127.0.0.1:9177 -trace-out run.jsonl -json
 //	indexadvisor -workload w.json -timeout 500ms -json
+//	indexadvisor -workload w.json -approximate 0.1 -json
+//
+// -approximate eps relaxes the Extend strategy's lazy (CELF) step loop: each
+// construction step may stop re-evaluating candidates once the best remaining
+// gain upper bound falls below bestRatio*(1+eps), so every chosen step's ratio
+// is within a (1+eps) factor of the exact maximum. The default eps=0 is
+// provably exact (bit-identical to the eager evaluator). The JSON report
+// carries "approximate": true and "eps" when the relaxation is on.
 //
 // -timeout puts the whole selection under a deadline: on expiry the advisor
 // returns its best partial result (for Extend, a bit-identical prefix of the
@@ -71,6 +79,7 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "overall selection deadline (any strategy); on expiry the best partial result found so far is reported and the exit code stays 0")
 		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
 		parallelism = flag.Int("parallelism", 0, "worker goroutines for extend evaluation and cophy branch-and-bound node solves (0 = all cores, 1 = serial; identical results)")
+		approximate = flag.Float64("approximate", 0, "extend only: relax the lazy step loop by this relative eps (each step's ratio within a (1+eps) factor of exact); 0 = provably exact")
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		jsonOut     = flag.Bool("json", false, "emit the full recommendation as JSON on stdout")
@@ -156,11 +165,15 @@ func main() {
 		log.Printf("serving metrics on http://%s/metrics", bound)
 	}
 
+	if *approximate < 0 {
+		log.Fatalf("-approximate must be >= 0 (got %v)", *approximate)
+	}
 	opts := []indexsel.Option{
 		indexsel.WithGap(*gap),
 		indexsel.WithTimeLimit(*timeLimit),
 		indexsel.WithDominanceReduction(),
 		indexsel.WithParallelism(*parallelism),
+		indexsel.WithApproximate(*approximate),
 		indexsel.WithTelemetry(tel),
 	}
 	if *budgetBytes > 0 {
@@ -246,6 +259,10 @@ func report(w *indexsel.Workload, rec *indexsel.Recommendation, showSteps bool) 
 	if rec.Partial {
 		fmt.Printf("partial:     interrupted (%v) — best result found before the cut\n", rec.StopReason)
 	}
+	if rec.Approximate > 0 {
+		fmt.Printf("approximate: eps=%v (each step's ratio within a factor %v of exact; %d candidates bound-pruned)\n",
+			rec.Approximate, 1+rec.Approximate, rec.Pruned)
+	}
 
 	if showSteps && len(rec.Steps) > 0 {
 		fmt.Println("\nconstruction trace:")
@@ -282,6 +299,9 @@ type jsonReport struct {
 	Workers     int         `json:"workers,omitempty"`
 	Evaluated   int         `json:"evaluated,omitempty"`
 	CacheServed int         `json:"cache_served,omitempty"`
+	Pruned      int         `json:"pruned,omitempty"`
+	Approximate bool        `json:"approximate,omitempty"`
+	Eps         float64     `json:"eps,omitempty"`
 	Indexes     []jsonIndex `json:"indexes"`
 	Steps       []jsonStep  `json:"steps,omitempty"`
 	Frontier    []jsonPoint `json:"frontier"`
@@ -312,6 +332,7 @@ type jsonStep struct {
 	Candidates  int     `json:"candidates"`
 	Evaluated   int     `json:"evaluated"`
 	CacheServed int     `json:"cache_served"`
+	Pruned      int     `json:"pruned,omitempty"`
 }
 
 type jsonWhatIf struct {
@@ -338,6 +359,9 @@ func writeJSON(out *os.File, w *indexsel.Workload, adv *indexsel.Advisor, rec *i
 		Workers:     rec.Workers,
 		Evaluated:   rec.Evaluated,
 		CacheServed: rec.CacheServed,
+		Pruned:      rec.Pruned,
+		Approximate: rec.Approximate > 0,
+		Eps:         rec.Approximate,
 		Indexes:     make([]jsonIndex, 0, len(rec.Indexes)),
 		WhatIf: jsonWhatIf{
 			Calls:           ws.Calls,
@@ -371,6 +395,7 @@ func writeJSON(out *os.File, w *indexsel.Workload, adv *indexsel.Advisor, rec *i
 			Candidates:  s.Candidates,
 			Evaluated:   s.Evaluated,
 			CacheServed: s.CacheServed,
+			Pruned:      s.Pruned,
 		}
 		if s.Replaced != nil {
 			js.Extends = describe(w, *s.Replaced)

@@ -89,11 +89,27 @@ type Options struct {
 	// single goroutine, and the winning step is chosen by a serial reduction
 	// over that fixed order.
 	Parallelism int
-	// DisableIncremental turns off the incremental gain cache, re-evaluating
-	// every candidate step from scratch at every construction step (the
-	// pre-optimization behavior). Results are identical either way; the knob
-	// exists for benchmarking and equivalence testing.
+	// DisableIncremental turns off the incremental gain cache AND the lazy
+	// (CELF) step loop, re-evaluating every candidate step from scratch at
+	// every construction step (the pre-optimization behavior). Results are
+	// identical either way; the knob exists for benchmarking and equivalence
+	// testing.
 	DisableIncremental bool
+	// Eager disables the lazy-evaluation (CELF) step loop and runs the eager
+	// incremental evaluator instead: every candidate in a stale bucket is
+	// re-evaluated each step. Traces are bit-identical to the lazy default —
+	// the differential tests enforce it — so the knob exists for those tests
+	// and for before/after benchmarks, not for production use.
+	Eager bool
+	// Approximate, when > 0, relaxes the lazy loop's stop rule: a step stops
+	// re-evaluating stale candidates once the best remaining upper bound
+	// falls below bestRatio*(1+Approximate), so the chosen step's ratio is
+	// within a (1+Approximate) factor of the exact maximum. Traces remain
+	// deterministic at every Parallelism, but are no longer bit-identical to
+	// exact mode; steps that actually engaged the relaxed cut are counted in
+	// indexsel_lazy_approx_steps_total. 0 (the default) is provably exact.
+	// Ignored by the eager, reference, and multi-index paths.
+	Approximate float64
 	// Reference runs the retained string-keyed selector (reference.go)
 	// instead of the interned one. The two are bit-identical by contract —
 	// the differential tests enforce it — so the knob exists for those tests
@@ -166,9 +182,15 @@ type Step struct {
 	RunnerUp *Alternative
 	// Candidates is the number of candidate steps enumerated for this step;
 	// Evaluated of them had their gain (re)computed and CacheServed came from
-	// the incremental gain cache. Drop steps (Remark 1.2) enumerate nothing
-	// and report zeros.
+	// the incremental gain cache (for the lazy path: were decided from a
+	// still-exact cached evaluation without recomputation). Drop steps
+	// (Remark 1.2) enumerate nothing and report zeros.
 	Candidates, Evaluated, CacheServed int
+	// Pruned counts candidates the lazy (CELF) loop skipped entirely because
+	// their gain upper bound could not beat the step's winner — neither
+	// evaluated nor served from cache. Always zero on the eager paths;
+	// Candidates = Evaluated + CacheServed + Pruned.
+	Pruned int
 }
 
 // Alternative is a rejected candidate step (Remark 1.3).
@@ -197,6 +219,11 @@ type Result struct {
 	// round that finds no viable step still evaluates candidates but records
 	// no step.
 	Evaluated, CacheServed int
+	// Pruned totals the candidates the lazy (CELF) loop bound-skipped over the
+	// whole run (see Step.Pruned). Zero on the eager paths.
+	Pruned int
+	// Approximate echoes Options.Approximate (0 = exact mode).
+	Approximate float64
 	// StopReason says why the construction loop ended: converged (no viable
 	// candidate), budget-exhausted (viable candidates remained but none fit
 	// the memory budget), max-steps, deadline, or cancelled.
@@ -337,17 +364,27 @@ type selector struct {
 	workers int
 	// gains caches evaluated candidate steps between construction steps,
 	// bucketed by the candidate index's leading attribute so that apply()
-	// can invalidate exactly the buckets whose query sets changed. Nil when
-	// incremental evaluation is disabled (DisableIncremental or Reconfig).
+	// can invalidate exactly the entries whose inputs changed (see
+	// invalidateStale). Only used by the eager incremental path: nil when
+	// incremental evaluation is disabled (DisableIncremental or Reconfig) and
+	// nil on the lazy default path, which keeps its own per-bucket entry
+	// stores in lazy.
 	gains map[int]map[gainKey]gainEntry
+	// lazy is the CELF priority-queue state (lazy.go); non-nil exactly when
+	// the lazy step loop is active (the default: incremental enabled, no
+	// Reconfig, not Eager/Reference/MultiIndex).
+	lazy *lazyState
+	// snapCost is mutateStep's reusable cost-snapshot buffer.
+	snapCost []float64
 
 	singleAllowed map[int]bool // non-nil when TopNSingle restricts step 3a
 	pairs         [][2]int     // pair universe for PairSteps
 
-	// lastCandidates/lastEvaluated are collect()'s enumeration accounting for
-	// the step being decided; apply() copies them into the recorded Step.
-	lastCandidates, lastEvaluated int
-	totalEvaluated, totalCached   int
+	// lastCandidates/lastEvaluated/lastCached/lastPruned are the deciding
+	// phase's enumeration accounting for the step being decided; apply()
+	// copies them into the recorded Step.
+	lastCandidates, lastEvaluated, lastCached, lastPruned int
+	totalEvaluated, totalCached, totalPruned              int
 
 	// stop folds Options.Context and Options.Deadline into the sticky stop
 	// signal checked at step boundaries and polled by the evaluation workers.
@@ -370,10 +407,14 @@ type gainKey struct {
 // gainEntry is a cached evaluation outcome: the candidate and whether it is
 // a viable step (positive gain and memory growth). Selection-membership and
 // budget checks are NOT part of the entry — they depend on per-step state
-// and are re-applied cheaply on every use.
+// and are re-applied cheaply on every use. optGain and dm are reported even
+// for non-viable outcomes: the lazy path derives stale upper bounds from
+// them (see lazy.go), while the eager path ignores them.
 type gainEntry struct {
-	c  candidate
-	ok bool
+	c       candidate
+	ok      bool
+	optGain float64 // optimistic surrogate gain (== gain for new-index kinds)
+	dm      int64   // memory delta, valid while the base index stays selected
 }
 
 func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *selector {
@@ -388,7 +429,11 @@ func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *sel
 	s.stop = fault.NewStopper(opts.Context, opts.Deadline)
 	s.workers = resolveWorkers(opts)
 	if !opts.DisableIncremental && opts.Reconfig == nil {
-		s.gains = make(map[int]map[gainKey]gainEntry)
+		if opts.Eager || opts.MultiIndex {
+			s.gains = make(map[int]map[gainKey]gainEntry)
+		}
+		// The lazy state itself is built at the end of newSelector, once the
+		// base costs it derives its bound slacks from are in place.
 	}
 	s.queriesWith = make([][]int32, w.NumAttrs())
 	for a := range s.queriesWith {
@@ -421,6 +466,9 @@ func newSelector(w *workload.Workload, opt *whatif.Optimizer, opts Options) *sel
 	s.ensure()
 	if opts.Reconfig != nil {
 		s.recon = opts.Reconfig(s.sel.Selection())
+	}
+	if !opts.DisableIncremental && opts.Reconfig == nil && !opts.Eager && !opts.MultiIndex {
+		s.lazy = newLazyState(s)
 	}
 	return s
 }
@@ -516,8 +564,10 @@ type candidate struct {
 // evalNew computes the gain of adding idx as a brand-new index. It is a pure
 // function of the frozen per-step state (cost, served, selection sizes) and
 // may run on any worker goroutine; selection-membership filtering happens in
-// enumerate().
-func (s *selector) evalNew(idx workload.Index, id workload.IndexID, kind StepKind) (candidate, bool) {
+// enumerate(). For a new index the gain already is the optimistic surrogate
+// of lazy.go (there is no replaced index whose loss could offset it), so
+// optGain == gain.
+func (s *selector) evalNew(idx workload.Index, id workload.IndexID, kind StepKind) gainEntry {
 	costs := s.costsFor(idx, id)
 	qs := s.queriesWith[idx.Leading()]
 	var gain float64
@@ -534,9 +584,14 @@ func (s *selector) evalNew(idx workload.Index, id workload.IndexID, kind StepKin
 		gain += s.recon - s.opts.Reconfig(next.Selection())
 	}
 	if gain <= 0 || dm <= 0 {
-		return candidate{}, false
+		return gainEntry{optGain: gain, dm: dm}
 	}
-	return candidate{kind: kind, index: idx, id: id, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+	return gainEntry{
+		c:       candidate{kind: kind, index: idx, id: id, gain: gain, deltaMem: dm, ratio: gain / float64(dm)},
+		ok:      true,
+		optGain: gain,
+		dm:      dm,
+	}
 }
 
 // evalExtend computes the gain of morphing selected index k into k with
@@ -544,10 +599,14 @@ func (s *selector) evalNew(idx workload.Index, id workload.IndexID, kind StepKin
 // cannot cover the new attributes (wider keys probe slower), so the gain
 // accounts for replacements, not just improvements. Like evalNew it is safe
 // to run on any worker goroutine.
-func (s *selector) evalExtend(k workload.Index, kID workload.IndexID, ext workload.Index, extID workload.IndexID, kind StepKind) (candidate, bool) {
+func (s *selector) evalExtend(k workload.Index, kID workload.IndexID, ext workload.Index, extID workload.IndexID, kind StepKind) gainEntry {
 	costs := s.extCostsFor(k, kID, ext, extID)
 	qs := s.queriesWith[k.Leading()]
-	var gain float64
+	// opt is the optimistic surrogate of lazy.go: per query, the improvement
+	// the extension would bring if removing the base index cost nothing
+	// (sum of freq*(cost-ext)^+). Since the per-query gain is
+	// old - min(alt, ext) with alt >= old, opt >= gain term by term.
+	var gain, opt float64
 	for i, qid := range qs {
 		old := s.cost[qid]
 		niu := s.base[qid]
@@ -559,12 +618,19 @@ func (s *selector) evalExtend(k workload.Index, kID workload.IndexID, ext worklo
 				niu = c
 			}
 		}
-		if c := costs[i]; c < niu {
+		c := costs[i]
+		if c < niu {
 			niu = c
 		}
-		gain += float64(s.w.Queries[qid].Freq) * (old - niu)
+		freq := float64(s.w.Queries[qid].Freq)
+		gain += freq * (old - niu)
+		if c < old {
+			opt += freq * (old - c)
+		}
 	}
-	gain -= s.maintFor(ext, extID) - s.maintFor(k, kID)
+	maintDelta := s.maintFor(ext, extID) - s.maintFor(k, kID)
+	gain -= maintDelta
+	opt -= maintDelta
 	dm := s.indexSize(ext, extID) - s.size[kID]
 	if s.opts.Reconfig != nil {
 		next := s.sel.Clone()
@@ -573,10 +639,16 @@ func (s *selector) evalExtend(k workload.Index, kID workload.IndexID, ext worklo
 		gain += s.recon - s.opts.Reconfig(next.Selection())
 	}
 	if gain <= 0 || dm <= 0 {
-		return candidate{}, false
+		return gainEntry{optGain: opt, dm: dm}
 	}
 	kc := k
-	return candidate{kind: kind, index: ext, id: extID, replaced: &kc, replacedID: kID, gain: gain, deltaMem: dm, ratio: gain / float64(dm)}, true
+	return gainEntry{
+		c: candidate{kind: kind, index: ext, id: extID, replaced: &kc, replacedID: kID,
+			gain: gain, deltaMem: dm, ratio: gain / float64(dm)},
+		ok:      true,
+		optGain: opt,
+		dm:      dm,
+	}
 }
 
 // better reports whether a should be preferred over b (higher ratio; ties
@@ -603,7 +675,7 @@ type evalTask struct {
 	hasBase bool
 }
 
-func (s *selector) evalCandidate(t evalTask) (candidate, bool) {
+func (s *selector) evalCandidate(t evalTask) gainEntry {
 	if t.hasBase {
 		return s.evalExtend(t.base, t.baseID, t.index, t.id, t.kind)
 	}
@@ -717,6 +789,7 @@ func (s *selector) collect() (best, second candidate, haveSecond, ok bool, err e
 		}
 	}
 	s.lastCandidates, s.lastEvaluated = len(tasks), len(pending)
+	s.lastCached, s.lastPruned = len(tasks)-len(pending), 0
 	s.totalEvaluated += len(pending)
 	s.totalCached += len(tasks) - len(pending)
 
@@ -792,21 +865,64 @@ func (s *selector) storeGain(t evalTask, e gainEntry) {
 	bucket[gainKey{t.kind, t.id}] = e
 }
 
-// invalidateGains drops the cached gains that an applied (or dropped) index
-// with the given leading attribute may have changed. The applied step only
-// refreshes cost/served for the queries in queriesWith[lead]; a cached
-// candidate reads those per-query values exactly for the queries in
-// queriesWith[candidate lead], so a candidate is stale iff its leading
-// attribute co-occurs with lead in some query. Everything else is reused
-// as-is — this is what makes each H6 step O(affected candidates) instead of
-// O(all candidates).
-func (s *selector) invalidateGains(lead int) {
-	if s.gains == nil {
+// mutateStep wraps the serial state mutation(s) of one applied or dropped
+// step — which always share a single leading attribute (extending appends to
+// the end, so the replaced and new index have the same lead) — and derives
+// the gain-cache consequences from the NET per-query cost movement across the
+// whole mutation. Wrapping the remove+add pair of an extension as one unit
+// matters: a query whose cost dips while the base is out and returns when the
+// extension lands has no net change, and its co-occurring new-index gains are
+// still exact.
+func (s *selector) mutateStep(lead int, f func()) {
+	if s.gains == nil && s.lazy == nil {
+		f()
 		return
 	}
-	for _, qid := range s.queriesWith[lead] {
-		for _, a := range s.w.Queries[qid].Attrs {
-			delete(s.gains, a)
+	qs := s.queriesWith[lead]
+	snap := s.snapCost[:0]
+	for _, qid := range qs {
+		snap = append(snap, s.cost[qid])
+	}
+	s.snapCost = snap
+	f()
+	if s.lazy != nil {
+		s.lazy.noteMutation(s, lead, snap)
+		return
+	}
+	s.invalidateStale(lead, snap)
+}
+
+// invalidateStale drops the cached gains that an applied (or dropped) index
+// with the given leading attribute may have changed; snap holds the
+// pre-mutation costs of queriesWith[lead]. The mutation only touches
+// cost/served of those queries; a cached candidate reads those per-query
+// values exactly for the queries in queriesWith[candidate lead], so only
+// candidates whose leading attribute co-occurs with lead in some query can be
+// stale — this is what makes each H6 step O(affected candidates) instead of
+// O(all candidates). Within a co-occurring bucket the invalidation is split
+// by step kind: extension gains read served[] (which the mutation always
+// rewrites) and are dropped whenever the bucket co-occurs at all, while
+// new-index gains are pure functions of cost[] and survive unless some
+// co-occurring query's cost actually changed. Every surviving entry is
+// therefore still exactly the value a recomputation would produce.
+func (s *selector) invalidateStale(lead int, snap []float64) {
+	for i, qid := range s.queriesWith[lead] {
+		q := s.w.Queries[qid]
+		changed := s.cost[qid] != snap[i]
+		for _, a := range q.Attrs {
+			bucket, ok := s.gains[a]
+			if !ok {
+				continue
+			}
+			if changed {
+				delete(s.gains, a)
+				continue
+			}
+			for k := range bucket {
+				if k.kind == StepExtend || k.kind == StepExtendPair {
+					delete(bucket, k)
+				}
+			}
 		}
 	}
 }
@@ -857,10 +973,12 @@ func (s *selector) pairUniverse() [][2]int {
 func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 	before, memBefore := s.total(), s.mem
 
-	if c.replaced != nil {
-		s.removeIndex(*c.replaced, c.replacedID)
-	}
-	s.addIndex(c.index, c.id)
+	s.mutateStep(c.index.Leading(), func() {
+		if c.replaced != nil {
+			s.removeIndex(*c.replaced, c.replacedID)
+		}
+		s.addIndex(c.index, c.id)
+	})
 
 	if s.opts.Reconfig != nil {
 		s.recon = s.opts.Reconfig(s.sel.Selection())
@@ -876,7 +994,8 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 		Ratio:       c.ratio,
 		Candidates:  s.lastCandidates,
 		Evaluated:   s.lastEvaluated,
-		CacheServed: s.lastCandidates - s.lastEvaluated,
+		CacheServed: s.lastCached,
+		Pruned:      s.lastPruned,
 	}
 	if s.opts.TrackSecondBest && haveSecond {
 		step.RunnerUp = &Alternative{Kind: second.kind, Index: second.index, Ratio: second.ratio}
@@ -885,8 +1004,8 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 }
 
 // addIndex inserts idx into the selection and refreshes affected queries.
+// Callers mutate through mutateStep, which handles gain-cache invalidation.
 func (s *selector) addIndex(idx workload.Index, id workload.IndexID) {
-	s.invalidateGains(idx.Leading())
 	s.sel.Add(id)
 	sz := s.indexSize(idx, id)
 	s.size[id] = sz
@@ -903,9 +1022,9 @@ func (s *selector) addIndex(idx workload.Index, id workload.IndexID) {
 }
 
 // removeIndex drops idx from the selection and re-derives affected queries'
-// costs from their remaining served entries.
+// costs from their remaining served entries. Callers mutate through
+// mutateStep, which handles gain-cache invalidation.
 func (s *selector) removeIndex(idx workload.Index, id workload.IndexID) {
-	s.invalidateGains(idx.Leading())
 	s.sel.Remove(id)
 	s.mem -= s.size[id]
 	s.wsum -= s.maintFor(idx, id)
@@ -957,7 +1076,9 @@ func (s *selector) dropUnused() {
 				continue // still worth keeping
 			}
 			before, memBefore := s.total(), s.mem
-			s.removeIndex(e.k, e.id)
+			s.mutateStep(e.k.Leading(), func() {
+				s.removeIndex(e.k, e.id)
+			})
 			if s.opts.Reconfig != nil {
 				s.recon = s.opts.Reconfig(s.sel.Selection())
 			}
@@ -1018,9 +1139,15 @@ func (s *selector) initTopNSingle() {
 }
 
 // run executes the construction loop in the single-index cost decomposition.
+// The step decision is either the eager full-bucket sweep (collect) or the
+// lazy CELF loop (collectLazy); both produce bit-identical traces.
 func (s *selector) run() (*Result, error) {
 	s.initTopNSingle()
 	initial := s.total()
+	decide := s.collect
+	if s.lazy != nil {
+		decide = s.collectLazy
+	}
 	for {
 		if s.opts.MaxSteps > 0 && len(s.steps) >= s.opts.MaxSteps {
 			s.stopReason = fault.StopMaxSteps
@@ -1032,7 +1159,7 @@ func (s *selector) run() (*Result, error) {
 		}
 		sp := s.opts.Span.Child("extend.step")
 		stepStart := time.Now()
-		best, second, haveSecond, ok, err := s.collect()
+		best, second, haveSecond, ok, err := decide()
 		if err != nil {
 			sp.Discard()
 			return nil, err
@@ -1056,8 +1183,12 @@ func (s *selector) run() (*Result, error) {
 		Workers:     s.workers,
 		Evaluated:   s.totalEvaluated,
 		CacheServed: s.totalCached,
+		Pruned:      s.totalPruned,
 		StopReason:  s.stopReason,
 		Partial:     s.stopReason.Interrupted(),
+	}
+	if s.lazy != nil {
+		res.Approximate = s.opts.Approximate
 	}
 	logRun(res)
 	return res, nil

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// TestDifferentialLazyVsEager is the lazy loop's exactness contract: on ERP
+// and TPC-C, across feature combinations and parallelism levels, the lazy
+// default must produce bit-identical step traces, frontiers, and candidate
+// universes versus the eager incremental sweep — while never evaluating more
+// candidates.
+func TestDifferentialLazyVsEager(t *testing.T) {
+	parallelisms := []int{1, 4, runtime.NumCPU()}
+	features := []Options{
+		{},
+		{TrackSecondBest: true, DropUnused: true},
+		{PairSteps: true, PairLimit: 40, TrackSecondBest: true},
+		{TopNSingle: 8},
+	}
+	for name, w := range diffWorkloads(t) {
+		m := costmodel.New(w, costmodel.SingleIndex)
+		budget := m.Budget(0.5)
+		for fi, feat := range features {
+			for _, p := range parallelisms {
+				label := fmt.Sprintf("%s/feature%d/P%d", name, fi, p)
+
+				eagerOpts := feat
+				eagerOpts.Budget, eagerOpts.Parallelism, eagerOpts.Eager = budget, p, true
+				want, err := Select(w, whatif.New(m), eagerOpts)
+				if err != nil {
+					t.Fatalf("%s: eager: %v", label, err)
+				}
+
+				opts := feat
+				opts.Budget, opts.Parallelism = budget, p
+				got, err := Select(w, whatif.New(m), opts)
+				if err != nil {
+					t.Fatalf("%s: lazy: %v", label, err)
+				}
+
+				traceEqual(t, label, want, got)
+				if want.StopReason != got.StopReason {
+					t.Errorf("%s: stop reason %v (eager) vs %v (lazy)", label, want.StopReason, got.StopReason)
+				}
+
+				wf, gf := want.Frontier(), got.Frontier()
+				if len(wf) != len(gf) {
+					t.Fatalf("%s: frontier lengths %d vs %d", label, len(wf), len(gf))
+				}
+				for i := range wf {
+					if wf[i] != gf[i] {
+						t.Errorf("%s: frontier[%d] %+v vs %+v", label, i, wf[i], gf[i])
+					}
+				}
+
+				// Same candidate universe per step (the lazy bucket stores must
+				// enumerate exactly what the eager sweep enumerates), and the
+				// bounds must only ever save work, never add it.
+				for i := range got.Steps {
+					ws, gs := want.Steps[i], got.Steps[i]
+					if ws.Candidates != gs.Candidates {
+						t.Errorf("%s: step %d candidates %d (eager) vs %d (lazy)",
+							label, i, ws.Candidates, gs.Candidates)
+					}
+					if gs.Candidates != gs.Evaluated+gs.CacheServed+gs.Pruned {
+						t.Errorf("%s: step %d lazy accounting %d != %d+%d+%d",
+							label, i, gs.Candidates, gs.Evaluated, gs.CacheServed, gs.Pruned)
+					}
+					if ws.Pruned != 0 {
+						t.Errorf("%s: step %d eager path reports Pruned=%d", label, i, ws.Pruned)
+					}
+				}
+				if got.Evaluated > want.Evaluated {
+					t.Errorf("%s: lazy evaluated %d candidates, eager only %d",
+						label, got.Evaluated, want.Evaluated)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyEvaluatesAtMostEagerERP is the CI guard wired into the robustness
+// job: on the ERP smoke workload the lazy loop must never evaluate more
+// candidates than the eager sweep, and must actually prune — the tentpole's
+// whole point. The ≥5x per-step reduction is tracked in results/BENCH_core.json;
+// this guard catches the regression class (bounds degenerating to full
+// sweeps) without benchmark noise.
+func TestLazyEvaluatesAtMostEagerERP(t *testing.T) {
+	cfg := workload.DefaultERPConfig()
+	cfg.Tables, cfg.TotalAttrs, cfg.Queries = 20, 170, 90
+	cfg.MinRows, cfg.MaxRows = 100_000, 5_000_000
+	cfg.TotalExecutions = 1_000_000
+	w := workload.MustGenerateERP(cfg)
+	m := costmodel.New(w, costmodel.SingleIndex)
+	opts := Options{Budget: m.Budget(0.5), Parallelism: 4}
+
+	eagerOpts := opts
+	eagerOpts.Eager = true
+	eager, err := Select(w, whatif.New(m), eagerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Select(w, whatif.New(m), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Evaluated > eager.Evaluated {
+		t.Fatalf("lazy evaluated %d candidates on ERP smoke, eager only %d",
+			lazy.Evaluated, eager.Evaluated)
+	}
+	if lazy.Pruned == 0 {
+		t.Error("lazy pruned zero candidates on ERP smoke; bounds are degenerate")
+	}
+	// Per-step counts are NOT compared: the lazy loop defers stale
+	// re-evaluations that eager pays immediately, so an individual lazy step
+	// can evaluate more than the same eager step — only run totals are
+	// comparable, and those must strictly favor lazy on ERP.
+	if lazy.Evaluated >= eager.Evaluated {
+		t.Errorf("lazy evaluated %d total candidates on ERP smoke, not fewer than eager's %d",
+			lazy.Evaluated, eager.Evaluated)
+	}
+}
+
+// TestLazyBoundsDominateFreshGains is the bound-soundness property, fuzzed
+// over workload shapes, write shares, and feature combinations: after every
+// step decision, every candidate's stale upper bound must be >= its freshly
+// evaluated ratio against the same frozen state, and every epoch-exact cache
+// entry must equal a from-scratch recomputation bit for bit. Violations name
+// the offending candidate key.
+func TestLazyBoundsDominateFreshGains(t *testing.T) {
+	type shape struct {
+		tables, attrs, queries int
+		writeShare             float64
+		feat                   Options
+	}
+	shapes := []shape{
+		{3, 14, 40, 0, Options{}},
+		{3, 14, 40, 0.3, Options{TrackSecondBest: true, DropUnused: true}},
+		{4, 12, 50, 0.2, Options{PairSteps: true, PairLimit: 30}},
+		{2, 18, 35, 0.1, Options{TopNSingle: 5}},
+	}
+	for _, seed := range []int64{1, 7, 23, 61, 104} {
+		for si, sh := range shapes {
+			label := fmt.Sprintf("seed%d/shape%d", seed, si)
+			cfg := workload.DefaultGenConfig()
+			cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = sh.tables, sh.attrs, sh.queries
+			cfg.RowsBase, cfg.Seed, cfg.WriteShare = 80_000, seed, sh.writeShare
+			w := workload.MustGenerate(cfg)
+			m, _ := setup(w)
+
+			audited, violations := 0, 0
+			lazyAuditHook = func(a lazyAuditInfo) {
+				audited++
+				if violations >= 5 {
+					return // enough diagnostics
+				}
+				key := fmt.Sprintf("%v %s", a.task.kind, a.task.index.Key())
+				if a.fresh.ok && a.bound < a.fresh.c.ratio {
+					violations++
+					t.Errorf("%s: candidate %s: stale bound %v < fresh ratio %v",
+						label, key, a.bound, a.fresh.c.ratio)
+				}
+				if a.exact {
+					if a.cached.ok != a.fresh.ok {
+						violations++
+						t.Errorf("%s: candidate %s: exact entry viability %v, fresh %v",
+							label, key, a.cached.ok, a.fresh.ok)
+					} else if a.cached.ok &&
+						(a.cached.c.gain != a.fresh.c.gain || a.cached.c.ratio != a.fresh.c.ratio) {
+						violations++
+						t.Errorf("%s: candidate %s: exact entry (gain %v, ratio %v) != fresh (%v, %v)",
+							label, key, a.cached.c.gain, a.cached.c.ratio, a.fresh.c.gain, a.fresh.c.ratio)
+					}
+				}
+			}
+			opts := sh.feat
+			opts.Budget, opts.Parallelism = m.Budget(0.5), 2
+			_, err := Select(w, whatif.New(m), opts)
+			lazyAuditHook = nil
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if audited == 0 {
+				t.Fatalf("%s: audit hook never fired", label)
+			}
+		}
+	}
+}
+
+// TestLazyNarrowedInvalidation is the regression test for the old
+// invalidateGains over-invalidation: applying an index used to drop every
+// cached gain in every co-occurring bucket, even though new-index gains are
+// pure functions of query costs and survive any step that did not change a
+// co-occurring query's cost. After one applied step, some co-occurring bucket
+// must retain its new-index entry (kind-split survival) while extension
+// entries in co-occurring buckets are gone (served[] was rewritten).
+func TestLazyNarrowedInvalidation(t *testing.T) {
+	w := gen(t, 3, 14, 40, 100_000, 23)
+	m, _ := setup(w)
+	s := newSelector(w, whatif.New(m), Options{Budget: m.Budget(0.5), Parallelism: 1, Eager: true})
+	s.initTopNSingle()
+	// Early steps tend to change every co-occurring query's cost (everything
+	// improves at once), so survival is asserted cumulatively across the run:
+	// somewhere along the trace a step must leave a co-occurring bucket's
+	// new-index gain intact, which the old whole-bucket rule never did.
+	survivors, extSurvivors := 0, 0
+	for step := 0; step < 30; step++ {
+		best, second, haveSecond, ok, err := s.collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		lead := best.index.Leading()
+		coOccur := map[int]bool{}
+		for _, qid := range s.queriesWith[lead] {
+			for _, a := range s.w.Queries[qid].Attrs {
+				coOccur[a] = true
+			}
+		}
+		s.apply(best, second, haveSecond)
+		for a, bucket := range s.gains {
+			if !coOccur[a] {
+				continue
+			}
+			for k := range bucket {
+				if k.kind == StepExtend || k.kind == StepExtendPair {
+					extSurvivors++
+				} else {
+					survivors++
+				}
+			}
+		}
+	}
+	if len(s.steps) == 0 {
+		t.Fatal("no steps applied")
+	}
+	if survivors == 0 {
+		t.Error("no new-index gain ever survived in a co-occurring bucket; invalidation regressed to whole-bucket drops")
+	}
+	if extSurvivors != 0 {
+		t.Errorf("%d extension gains survived in co-occurring buckets; served[] was rewritten there", extSurvivors)
+	}
+
+	// Across a whole run the survivors must turn into real cache hits.
+	res, err := Select(w, whatif.New(m), Options{Budget: m.Budget(0.5), Parallelism: 1, Eager: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheServed == 0 {
+		t.Error("full eager run served zero cached gains across steps")
+	}
+}
+
+// TestLazyApproximateTier pins the Options.Approximate contract: runs stay
+// deterministic across parallelism, never evaluate more than exact mode, echo
+// the eps in the result, and the first step's ratio — decided from the same
+// initial state as exact mode — is within the documented (1+eps) factor.
+func TestLazyApproximateTier(t *testing.T) {
+	w := diffWorkloads(t)["TPCC"]
+	m := costmodel.New(w, costmodel.SingleIndex)
+	budget := m.Budget(0.5)
+	const eps = 0.2
+
+	exact, err := Select(w, whatif.New(m), Options{Budget: budget, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(p int) *Result {
+		t.Helper()
+		r, err := Select(w, whatif.New(m), Options{Budget: budget, Parallelism: p, Approximate: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a1, a4 := approx(1), approx(4)
+	traceEqual(t, "approx P1 vs P4", a1, a4)
+
+	if a4.Approximate != eps {
+		t.Errorf("Result.Approximate = %v, want %v", a4.Approximate, eps)
+	}
+	if exact.Approximate != 0 {
+		t.Errorf("exact run echoes Approximate = %v", exact.Approximate)
+	}
+	if a4.Evaluated > exact.Evaluated {
+		t.Errorf("approximate mode evaluated %d candidates, exact only %d", a4.Evaluated, exact.Evaluated)
+	}
+	if len(a4.Steps) == 0 || len(exact.Steps) == 0 {
+		t.Fatal("empty trace")
+	}
+	if got, want := a4.Steps[0].Ratio, exact.Steps[0].Ratio; got < want/(1+eps) || got > want {
+		t.Errorf("first approximate step ratio %v outside [%v/(1+eps), %v]", got, want, want)
+	}
+	if math.IsNaN(a4.Cost) || math.IsInf(a4.Cost, 0) || a4.Cost < 0 {
+		t.Errorf("approximate run cost %v is not sane", a4.Cost)
+	}
+	if a4.Memory > budget {
+		t.Errorf("approximate run memory %d exceeds budget %d", a4.Memory, budget)
+	}
+
+	// Eager mode ignores the knob entirely.
+	eager, err := Select(w, whatif.New(m), Options{Budget: budget, Parallelism: 4, Eager: true, Approximate: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceEqual(t, "eager ignores Approximate", exact, eager)
+	if eager.Approximate != 0 {
+		t.Errorf("eager run echoes Approximate = %v", eager.Approximate)
+	}
+}
+
+// TestLazyAccountingDeterministicAcrossParallelism: the evaluated set — not
+// just the decided trace — must be identical at every worker count, or the
+// "deterministic batches" claim is hollow and Step accounting becomes flaky.
+func TestLazyAccountingDeterministicAcrossParallelism(t *testing.T) {
+	w := gen(t, 4, 12, 50, 100_000, 17)
+	m, _ := setup(w)
+	budget := m.Budget(0.5)
+	run := func(p int) *Result {
+		t.Helper()
+		r, err := Select(w, whatif.New(m), Options{
+			Budget: budget, Parallelism: p, TrackSecondBest: true, DropUnused: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(1)
+	for _, p := range []int{2, 4, 7} {
+		got := run(p)
+		traceEqual(t, fmt.Sprintf("P%d", p), base, got)
+		if len(base.Steps) != len(got.Steps) {
+			t.Fatal("step counts diverged")
+		}
+		for i := range base.Steps {
+			b, g := base.Steps[i], got.Steps[i]
+			if b.Evaluated != g.Evaluated || b.CacheServed != g.CacheServed || b.Pruned != g.Pruned {
+				t.Errorf("P%d step %d accounting (%d,%d,%d) vs serial (%d,%d,%d)",
+					p, i, g.Evaluated, g.CacheServed, g.Pruned, b.Evaluated, b.CacheServed, b.Pruned)
+			}
+		}
+		if base.Evaluated != got.Evaluated || base.Pruned != got.Pruned {
+			t.Errorf("P%d run totals (%d,%d) vs serial (%d,%d)",
+				p, got.Evaluated, got.Pruned, base.Evaluated, base.Pruned)
+		}
+	}
+}

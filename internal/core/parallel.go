@@ -52,7 +52,7 @@ func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []
 			if n%stopCheckStride == 0 && s.stop.Check() != fault.StopNone {
 				return nil
 			}
-			results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+			results[i] = s.evalCandidate(tasks[i])
 		}
 		return nil
 	}
@@ -82,7 +82,7 @@ func (s *selector) evalPending(tasks []evalTask, results []gainEntry, pending []
 							panicErr.CompareAndSwap(nil, pe)
 						}
 					}()
-					results[i].c, results[i].ok = s.evalCandidate(tasks[i])
+					results[i] = s.evalCandidate(tasks[i])
 				}()
 			}
 		}()

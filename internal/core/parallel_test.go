@@ -80,15 +80,18 @@ func TestParallelTraceMatchesSerial(t *testing.T) {
 				t.Fatal(err)
 			}
 			variants := []Options{
-				{Parallelism: 1}, // serial + incremental
-				{Parallelism: 4}, // parallel + incremental
+				{Parallelism: 1}, // serial + lazy (the default path)
+				{Parallelism: 4}, // parallel + lazy
 				{Parallelism: 4, DisableIncremental: true}, // parallel only
-				{Parallelism: 7}, // worker count not dividing task count
+				{Parallelism: 7},              // worker count not dividing task count
+				{Parallelism: 1, Eager: true}, // serial + eager incremental
+				{Parallelism: 4, Eager: true}, // parallel + eager incremental
 			}
 			for vi, v := range variants {
 				opts := feat
 				opts.Budget = budget
 				opts.Parallelism, opts.DisableIncremental = v.Parallelism, v.DisableIncremental
+				opts.Eager = v.Eager
 				got, err := Select(w, whatif.New(m), opts)
 				if err != nil {
 					t.Fatal(err)
@@ -148,7 +151,10 @@ func TestIncrementalMatchesFullRecomputation(t *testing.T) {
 func TestIncrementalReducesReevaluations(t *testing.T) {
 	w := gen(t, 3, 14, 40, 100_000, 23)
 	m, _ := setup(w)
-	s := newSelector(w, whatif.New(m), Options{Budget: m.Budget(0.5), Parallelism: 1})
+	// Eager selects the incremental gain-cache path this test inspects; the
+	// lazy default keeps its own per-bucket entry store instead (lazy_test.go
+	// covers its cache-retention behavior).
+	s := newSelector(w, whatif.New(m), Options{Budget: m.Budget(0.5), Parallelism: 1, Eager: true})
 	s.initTopNSingle()
 	// First step: everything evaluated, cache populated.
 	best, second, haveSecond, ok, err := s.collect()

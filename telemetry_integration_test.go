@@ -34,13 +34,19 @@ func TestTelemetryTPCCRun(t *testing.T) {
 	if rec.Workers < 1 {
 		t.Fatalf("Workers = %d, want >= 1", rec.Workers)
 	}
-	var stepSum int
+	var stepSum, prunedSum int
 	for _, s := range rec.Steps {
-		if s.Candidates != s.Evaluated+s.CacheServed {
-			t.Errorf("step accounting: Candidates=%d != Evaluated=%d + CacheServed=%d",
-				s.Candidates, s.Evaluated, s.CacheServed)
+		if s.Candidates != s.Evaluated+s.CacheServed+s.Pruned {
+			t.Errorf("step accounting: Candidates=%d != Evaluated=%d + CacheServed=%d + Pruned=%d",
+				s.Candidates, s.Evaluated, s.CacheServed, s.Pruned)
 		}
 		stepSum += s.Evaluated
+		prunedSum += s.Pruned
+	}
+	// The default path is the lazy CELF loop; on TPC-C its bounds must be
+	// doing real work, not degenerating to a full sweep.
+	if prunedSum == 0 {
+		t.Error("lazy path pruned zero candidates across the whole TPC-C run")
 	}
 	// Run totals cover the final round that found no viable step too, so they
 	// bound the per-step sums from above.
@@ -58,6 +64,8 @@ func TestTelemetryTPCCRun(t *testing.T) {
 		"indexsel_extend_step_duration_seconds_bucket",
 		"indexsel_extend_steps_total",
 		"indexsel_select_runs_total",
+		"indexsel_lazy_evals_saved_total",
+		"indexsel_lazy_heap_depth",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %s", want)
