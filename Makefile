@@ -19,7 +19,7 @@ BENCH_WHATIF_GUARDS := \
 	-max-allocs 'BenchmarkWhatifCachedProbe_Flat=0' \
 	-max-allocs 'BenchmarkSelectionClone_IDSet=1'
 
-.PHONY: build test race bench-core bench-lp bench-whatif
+.PHONY: build test race bench-core bench-lp bench-whatif bench-compare
 
 build:
 	$(GO) build ./...
@@ -45,3 +45,10 @@ bench-whatif:
 		-count $(BENCH_COUNT) -timeout 30m ./internal/whatif \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson $(BENCH_WHATIF_GUARDS) \
 		> results/BENCH_whatif.json
+
+# Diff two benchjson documents (median over -count series); exits 1 when NEW
+# is slower than BENCH_TOLERANCE allows or allocates more. Example:
+#   make bench-compare OLD=results/BENCH_whatif.json NEW=/tmp/fresh.json
+BENCH_TOLERANCE ?= 0.20
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -tolerance $(BENCH_TOLERANCE) $(OLD) $(NEW)

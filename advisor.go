@@ -9,6 +9,7 @@ import (
 	"repro/internal/cophy"
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/explain"
 	"repro/internal/fault"
 	"repro/internal/heuristics"
 	"repro/internal/telemetry"
@@ -88,6 +89,7 @@ type Advisor struct {
 	extendOpts  core.Options
 	parallelism int
 	approximate float64
+	explain     bool
 	tel         *telemetry.Telemetry
 
 	model *costmodel.Model // nil when measured
@@ -134,6 +136,21 @@ func WithDominanceReduction() Option { return func(ad *Advisor) { ad.dominance =
 func WithExtendOptions(opts core.Options) Option {
 	return func(ad *Advisor) { ad.extendOpts = opts }
 }
+
+// WithEager disables the Extend strategy's lazy (CELF) step loop in favor
+// of the exhaustive per-step candidate sweep. The recommendation and trace
+// are bit-identical to the lazy default; the knob exists to measure the
+// lazy loop's savings and to produce eager reference journals for
+// runcompare (equal frontiers, different prune ledgers).
+func WithEager() Option { return func(ad *Advisor) { ad.extendOpts.Eager = true } }
+
+// WithExplain turns on decision provenance: every Select additionally
+// returns, on the Recommendation, WHY the strategy chose what it chose
+// (Provenance) and which queries each recommended index helps (Attribution),
+// and journals both on the run's spans. Provenance changes no evaluation,
+// tie-break, or what-if call — the selection and its construction trace are
+// bit-identical with it on or off — and costs nothing when off.
+func WithExplain() Option { return func(ad *Advisor) { ad.explain = true } }
 
 // WithTelemetry attaches the observability sinks of package
 // internal/telemetry to the advisor: every Select records a root span (with
@@ -270,6 +287,15 @@ type Recommendation struct {
 	// construction trace, for CoPhy the best incumbent with Gap as its
 	// certificate, for H1-H5 the greedy fill over the scored prefix.
 	Partial bool
+	// Provenance explains the run's decisions (WithExplain only): per-step
+	// gain decomposition and prune ledger for Extend, the ranked pool for
+	// H1-H5, the optimality certificate for CoPhy.
+	Provenance *RunProvenance
+	// Attribution maps each recommended index to the queries whose cost it
+	// changes (WithExplain only; omitted under MultiIndexCosts, whose
+	// context-dependent costs do not decompose per index). Its per-index net
+	// benefits sum exactly to BaseCost-Cost.
+	Attribution *Attribution
 
 	selection Selection
 }
@@ -323,13 +349,19 @@ func (ad *Advisor) SelectContext(ctx context.Context, s Strategy) (*Recommendati
 	root := ad.tel.Trace().Start("advisor.select")
 	root.SetStr("strategy", s.String())
 	root.SetInt("budget_bytes", budget)
+	var deadline time.Time
+	if ctx != nil {
+		deadline, _ = ctx.Deadline()
+	}
+	prog := telemetry.BeginProgress(s.String(), budget, deadline)
 
-	rec, err := ad.runStrategy(ctx, s, budget, root)
+	rec, err := ad.runStrategy(ctx, s, budget, root, prog)
 	elapsed := time.Since(start)
 	mSelects.Inc()
 	mSelectDur.Observe(elapsed.Seconds())
 	if err != nil {
 		mSelectErrs.Inc()
+		prog.Finish("error", false)
 		root.SetStr("error", err.Error())
 		root.End()
 		return nil, err
@@ -337,6 +369,11 @@ func (ad *Advisor) SelectContext(ctx context.Context, s Strategy) (*Recommendati
 	rec.Elapsed = elapsed
 	if rec.Partial {
 		mSelectPartial.Inc()
+	}
+	prog.Finish(rec.StopReason.String(), rec.Partial)
+	if ad.explain && !(ad.model != nil && ad.mode == MultiIndexCosts) {
+		rec.Attribution = explain.Attribute(ad.w, ad.opt, rec.selection)
+		root.SetAny("attribution", *rec.Attribution)
 	}
 
 	ws := ad.opt.Stats()
@@ -364,7 +401,7 @@ func (ad *Advisor) SelectContext(ctx context.Context, s Strategy) (*Recommendati
 // context and the root telemetry span into it. A panic escaping a strategy
 // (they each carry their own recovery; this is the advisor-side backstop) is
 // converted to a *WorkerPanicError.
-func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, root *telemetry.Span) (rec *Recommendation, err error) {
+func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, root *telemetry.Span, prog *telemetry.ProgressRun) (rec *Recommendation, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rec, err = nil, fault.AsPanicError("indexsel.runStrategy", r)
@@ -392,6 +429,8 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 			opts.MultiIndex = true
 		}
 		opts.Span = root
+		opts.Explain = opts.Explain || ad.explain
+		opts.Progress = prog
 		res, err := core.Select(ad.w, ad.opt, opts)
 		if err != nil {
 			return nil, err
@@ -409,6 +448,9 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 		rec.Approximate = res.Approximate
 		rec.StopReason = res.StopReason
 		rec.Partial = res.Partial
+		if res.Provenance != nil {
+			rec.Provenance = &RunProvenance{Strategy: s.String(), Steps: res.Provenance}
+		}
 
 	case StrategyCoPhy:
 		cands, err := ad.candidateSet()
@@ -423,6 +465,7 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 			DominanceReduction: ad.dominance,
 			Parallelism:        ad.parallelism,
 			Span:               root,
+			Explain:            ad.explain,
 		})
 		if err != nil {
 			return nil, err
@@ -434,6 +477,9 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 		rec.Memory = res.Memory
 		rec.DNF = res.Stats.DNF
 		rec.Gap = res.Stats.Gap
+		if res.Provenance != nil {
+			rec.Provenance = &RunProvenance{Strategy: s.String(), Solve: res.Provenance}
+		}
 		if res.Stats.DNF {
 			// A DNF solve returned its incumbent: partial by the anytime
 			// contract. The reason distinguishes caller cancellation from a
@@ -461,6 +507,7 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 			Skyline: ad.skyline && s == StrategyH4,
 			Span:    root,
 			Context: ctx,
+			Explain: ad.explain,
 		})
 		if err != nil {
 			return nil, err
@@ -472,6 +519,9 @@ func (ad *Advisor) runStrategy(ctx context.Context, s Strategy, budget int64, ro
 		rec.Memory = res.Memory
 		rec.StopReason = res.StopReason
 		rec.Partial = res.Partial
+		if res.Provenance != nil {
+			rec.Provenance = &RunProvenance{Strategy: s.String(), Heuristic: res.Provenance}
+		}
 
 	default:
 		return nil, fmt.Errorf("indexsel: unknown strategy %d", int(s))

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runCompare implements `benchjson -compare old.json new.json`: it loads two
+// documents previously produced by this command, collapses repeated runs of
+// the same benchmark (a `-count N` series) to their median, and fails when a
+// benchmark slowed down beyond the time tolerance or allocates more than the
+// alloc tolerance permits. Benchmarks present on only one side are reported
+// but never fail the comparison — adding or retiring a benchmark is not a
+// regression.
+func runCompare(oldPath, newPath string, tolerance float64, allocsTolerance int64) int {
+	oldDoc, err := readDoc(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := readDoc(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	oldAgg := aggregate(oldDoc.Benchmarks)
+	newAgg := aggregate(newDoc.Benchmarks)
+
+	names := make([]string, 0, len(oldAgg))
+	for name := range oldAgg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		o := oldAgg[name]
+		n, ok := newAgg[name]
+		if !ok {
+			fmt.Printf("  %-52s only in %s\n", name, oldPath)
+			continue
+		}
+		ratio := n.ns / o.ns
+		verdict := "ok"
+		if n.ns > o.ns*(1+tolerance) {
+			verdict = "SLOWER"
+			failed = true
+		}
+		fmt.Printf("  %-52s %12.4g -> %12.4g ns/op  (%+.1f%%)  %s\n",
+			name, o.ns, n.ns, 100*(ratio-1), verdict)
+		if o.hasAllocs && n.hasAllocs && n.allocs > o.allocs+allocsTolerance {
+			fmt.Printf("  %-52s %12d -> %12d allocs/op  ALLOC REGRESSION\n",
+				name, o.allocs, n.allocs)
+			failed = true
+		}
+	}
+	for name := range newAgg {
+		if _, ok := oldAgg[name]; !ok {
+			fmt.Printf("  %-52s only in %s\n", name, newPath)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: regression beyond tolerance (%.0f%% time, +%d allocs)\n",
+			100*tolerance, allocsTolerance)
+		return 1
+	}
+	return 0
+}
+
+type aggregated struct {
+	ns        float64
+	allocs    int64
+	hasAllocs bool
+}
+
+// aggregate collapses a document's results to one entry per benchmark name
+// (procs suffix already stripped by the parser), taking the median over a
+// -count series so one noisy run cannot fail or mask a comparison.
+func aggregate(results []Result) map[string]aggregated {
+	byName := map[string][]Result{}
+	for _, r := range results {
+		key := fmt.Sprintf("%s-%d", r.Name, r.Procs)
+		byName[key] = append(byName[key], r)
+	}
+	out := make(map[string]aggregated, len(byName))
+	for key, rs := range byName {
+		ns := make([]float64, 0, len(rs))
+		var allocs []int64
+		for _, r := range rs {
+			ns = append(ns, r.NsPerOp)
+			if r.AllocsPerOp != nil {
+				allocs = append(allocs, *r.AllocsPerOp)
+			}
+		}
+		a := aggregated{ns: medianFloat(ns)}
+		if len(allocs) > 0 {
+			a.hasAllocs = true
+			a.allocs = medianInt(allocs)
+		}
+		out[key] = a
+	}
+	return out
+}
+
+func medianFloat(v []float64) float64 {
+	sort.Float64s(v)
+	return v[len(v)/2]
+}
+
+func medianInt(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+func readDoc(path string) (*Output, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var doc Output
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

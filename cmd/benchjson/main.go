@@ -11,6 +11,13 @@
 // the named benchmark (matched after stripping the -N procs suffix) reports
 // more than the given allocs/op, so CI fails when an allocation sneaks back
 // onto a hot path.
+//
+// `-compare old.json new.json` diffs two previously converted documents
+// instead of reading stdin: repeated runs of one benchmark (a `-count N`
+// series) collapse to their median, and the command exits 1 when any
+// benchmark got slower than -tolerance (default 20%) allows or allocates
+// more than -allocs-tolerance extra allocs/op — the CI bench-smoke guard
+// against committed baselines in results/.
 package main
 
 import (
@@ -73,7 +80,21 @@ func main() {
 	guards := allocGuards{}
 	flag.Var(guards, "max-allocs",
 		"repeatable Name=N guard: fail if benchmark Name exceeds N allocs/op")
+	compare := flag.Bool("compare", false,
+		"compare two benchjson documents (old.json new.json) instead of converting stdin; exits 1 on regression beyond tolerance")
+	tolerance := flag.Float64("tolerance", 0.20,
+		"with -compare: allowed relative ns/op slowdown before failing (0.20 = 20%)")
+	allocsTolerance := flag.Int64("allocs-tolerance", 0,
+		"with -compare: allowed absolute allocs/op growth before failing")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *tolerance, *allocsTolerance))
+	}
 
 	var out Output
 	sc := bufio.NewScanner(os.Stdin)

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	indexsel "repro"
+)
+
+// runExplain implements `indexadvisor explain`: it reconstructs the most
+// recent selection run from a -trace-out JSONL journal and renders the
+// human-readable decision report — why each step was taken (gain
+// decomposition, runner-up margin, prune ledger), the strategy's
+// certificate, and the per-index attribution table.
+func runExplain(args []string) {
+	fs := flag.NewFlagSet("indexadvisor explain", flag.ExitOnError)
+	journal := fs.String("journal", "", "trace journal to explain (a -trace-out file; - for stdin)")
+	jsonOut := fs.Bool("json", false, "emit the reconstructed run as JSON instead of the report")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: indexadvisor explain -journal run.jsonl [-json]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *journal == "" && fs.NArg() == 1 {
+		*journal = fs.Arg(0)
+	}
+	if *journal == "" || fs.NArg() > 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if *journal != "-" {
+		f, err := os.Open(*journal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := indexsel.ReadRunJournal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := indexsel.WriteRunReport(os.Stdout, run); err != nil {
+		log.Fatal(err)
+	}
+}

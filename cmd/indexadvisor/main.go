@@ -11,6 +11,17 @@
 //	indexadvisor -workload w.json -metrics-addr 127.0.0.1:9177 -trace-out run.jsonl -json
 //	indexadvisor -workload w.json -timeout 500ms -json
 //	indexadvisor -workload w.json -approximate 0.1 -json
+//	indexadvisor -workload w.json -explain -trace-out run.jsonl -json
+//	indexadvisor explain -journal run.jsonl
+//
+// -explain records decision provenance: the -json report (and the trace
+// journal) additionally carry, per step, the winning candidate's exact gain
+// decomposition, the runner-up margin, and the lazy loop's prune ledger,
+// plus an attribution table mapping each recommended index to the queries
+// whose cost it changes (per-index nets sum exactly to base_cost - cost).
+// Provenance is a pure observer — the selection is bit-identical with it on
+// or off. The `explain` subcommand renders a journaled run as a
+// human-readable report; cmd/runcompare diffs two journals.
 //
 // -approximate eps relaxes the Extend strategy's lazy (CELF) step loop: each
 // construction step may stop re-evaluating candidates once the best remaining
@@ -67,6 +78,10 @@ var strategies = map[string]indexsel.Strategy{
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("indexadvisor: ")
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		runExplain(os.Args[2:])
+		return
+	}
 	var (
 		path        = flag.String("workload", "", "workload JSON file (- for stdin); or use -sql")
 		sqlPath     = flag.String("sql", "", "schema + query log in SQL (- for stdin); alternative to -workload")
@@ -83,9 +98,12 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		jsonOut     = flag.Bool("json", false, "emit the full recommendation as JSON on stdout")
+		explainRun  = flag.Bool("explain", false, "record decision provenance and per-query attribution (reported in -json and the human report, journaled with -trace-out)")
+		eager       = flag.Bool("eager", false, "extend only: exhaustive per-step sweep instead of the lazy (CELF) loop; identical results, useful as a runcompare reference")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 		linger      = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the report (for scrapers)")
 		traceOut    = flag.String("trace-out", "", "append every selection span as a JSON line to this file")
+		traceRotate = flag.Int64("trace-rotate-bytes", 0, "rotate -trace-out past this size (file -> file.1 -> file.2, whole lines only); 0 = never rotate")
 		logLevel    = flag.String("log-level", "", "enable structured logs on stderr: debug | info | warn | error")
 	)
 	flag.Parse()
@@ -137,7 +155,22 @@ func main() {
 
 	tel := &indexsel.Telemetry{}
 	var journalFlush func()
-	if *traceOut != "" {
+	switch {
+	case *traceOut != "" && *traceRotate > 0:
+		rw, err := indexsel.NewRotatingTraceWriter(*traceOut, *traceRotate, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tel.Tracer = indexsel.NewTracer(4096, rw)
+		journalFlush = func() {
+			if err := tel.Tracer.Err(); err != nil {
+				log.Printf("trace journal: %v", err)
+			}
+			if err := rw.Close(); err != nil {
+				log.Printf("trace journal: %v", err)
+			}
+		}
+	case *traceOut != "":
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatal(err)
@@ -180,6 +213,12 @@ func main() {
 		opts = append(opts, indexsel.WithBudgetBytes(*budgetBytes))
 	} else {
 		opts = append(opts, indexsel.WithBudgetShare(*budgetShare))
+	}
+	if *explainRun {
+		opts = append(opts, indexsel.WithExplain())
+	}
+	if *eager {
+		opts = append(opts, indexsel.WithEager())
 	}
 	if *numCands > 0 {
 		cands, err := indexsel.CandidateSet(w, indexsel.CandidatesByFrequency, *numCands, 4)
@@ -280,6 +319,22 @@ func report(w *indexsel.Workload, rec *indexsel.Recommendation, showSteps bool) 
 	for _, ix := range rec.Indexes {
 		fmt.Printf("  CREATE INDEX ON %s;\n", describe(w, ix))
 	}
+
+	if a := rec.Attribution; a != nil {
+		fmt.Printf("\nwhy (per-index share of the %.6g improvement):\n", a.BaseCost-a.Cost)
+		for _, row := range a.Indexes {
+			fmt.Printf("  %-44s net=%.6g  (benefit %.6g - maintenance %.6g, best for %d queries)\n",
+				row.Index, row.Net, row.Benefit, row.Maintenance, row.QueryCount)
+		}
+	}
+	if p := rec.Provenance; p != nil && len(p.Steps) > 0 {
+		var pruned int
+		for _, st := range p.Steps {
+			pruned += st.Pruned
+		}
+		fmt.Printf("\nprovenance: %d step records journaled (%d candidate evaluations bound-pruned); `indexadvisor explain -journal <trace.jsonl>` renders the full report\n",
+			len(p.Steps), pruned)
+	}
 }
 
 // jsonReport is the machine-readable recommendation emitted by -json. Field
@@ -306,6 +361,9 @@ type jsonReport struct {
 	Steps       []jsonStep  `json:"steps,omitempty"`
 	Frontier    []jsonPoint `json:"frontier"`
 	WhatIf      jsonWhatIf  `json:"whatif"`
+	// Provenance and Attribution are present only under -explain.
+	Provenance  *indexsel.RunProvenance `json:"provenance,omitempty"`
+	Attribution *indexsel.Attribution   `json:"attribution,omitempty"`
 }
 
 // jsonPoint is one (memory, cost) point of the anytime frontier. The frontier
@@ -332,7 +390,10 @@ type jsonStep struct {
 	Candidates  int     `json:"candidates"`
 	Evaluated   int     `json:"evaluated"`
 	CacheServed int     `json:"cache_served"`
-	Pruned      int     `json:"pruned,omitempty"`
+	// Pruned is always emitted (no omitempty): the accounting triple
+	// candidates = evaluated + cache_served + pruned stays checkable even
+	// when a step pruned nothing.
+	Pruned int `json:"pruned"`
 }
 
 type jsonWhatIf struct {
@@ -405,6 +466,8 @@ func writeJSON(out *os.File, w *indexsel.Workload, adv *indexsel.Advisor, rec *i
 	for _, p := range rec.Frontier() {
 		rep.Frontier = append(rep.Frontier, jsonPoint{MemoryBytes: p.Memory, Cost: p.Cost})
 	}
+	rep.Provenance = rec.Provenance
+	rep.Attribution = rec.Attribution
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

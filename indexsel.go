@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/engine"
+	"repro/internal/explain"
 	"repro/internal/fault"
 	"repro/internal/inum"
 	"repro/internal/sqllog"
@@ -229,6 +230,54 @@ type ExtendOptions = core.Options
 // FrontierPoint is a (memory, cost) combination of the Extend trace.
 type FrontierPoint = core.FrontierPoint
 
+// Explain re-exports: decision-provenance records returned on a
+// Recommendation under WithExplain and journaled on the run's spans. See
+// package internal/explain for field-level docs.
+type (
+	// RunProvenance bundles one run's provenance; exactly one of Steps
+	// (Extend), Heuristic (H1-H5) or Solve (CoPhy) is populated.
+	RunProvenance = explain.RunProvenance
+	// StepProvenance explains one Extend construction step: exact gain
+	// decomposition, runner-up margin, per-query deltas, prune ledger.
+	StepProvenance = explain.StepProvenance
+	// QueryDelta is one query's frequency-weighted cost movement in a step.
+	QueryDelta = explain.QueryDelta
+	// RunnerUp is the best rejected candidate of a step.
+	RunnerUp = explain.RunnerUp
+	// PrunedBucket is one bucket's entry in a lazy step's prune ledger.
+	PrunedBucket = explain.PrunedBucket
+	// SelectionProvenance explains a heuristic run's ranked pool.
+	SelectionProvenance = explain.SelectionProvenance
+	// RankedCandidate is one pool entry of a heuristic run with its fate.
+	RankedCandidate = explain.RankedCandidate
+	// SolveProvenance is the CoPhy optimality certificate.
+	SolveProvenance = explain.SolveProvenance
+	// Attribution maps recommended indexes to the queries they help; its
+	// per-index net benefits partition BaseCost-Cost exactly.
+	Attribution = explain.Attribution
+	// IndexAttribution is one index's attribution row.
+	IndexAttribution = explain.IndexAttribution
+	// QueryAttribution is one query's share of an index's benefit.
+	QueryAttribution = explain.QueryAttribution
+	// ExplainedRun is a run reconstructed from a trace journal (the explain
+	// and runcompare tools' input), with frontier and diff helpers.
+	ExplainedRun = explain.Run
+	// ProgressState is the live-run snapshot served by /progress.
+	ProgressState = telemetry.ProgressState
+)
+
+// ReadRunJournal reconstructs the most recent selection run from a JSONL
+// trace journal (a -trace-out file): the construction trace, final
+// objective, and — when the run had WithExplain on — provenance and
+// attribution. See explain.ReadJournal.
+func ReadRunJournal(r io.Reader) (*ExplainedRun, error) { return explain.ReadJournal(r) }
+
+// WriteRunReport renders a journal-reconstructed run as the human-readable
+// explain report (`indexadvisor explain` output): headline outcome, each
+// step's decision rationale, strategy certificates, and the attribution
+// table.
+func WriteRunReport(w io.Writer, run *ExplainedRun) error { return explain.WriteReport(w, run) }
+
 // StopReason says how a selection run ended; see Recommendation.StopReason
 // and SelectContext for the anytime contract.
 type StopReason = fault.StopReason
@@ -276,11 +325,24 @@ type (
 	MetricsRegistry = telemetry.Registry
 	// TraceRecord is one completed span as stored in the ring and journal.
 	TraceRecord = telemetry.Record
+	// RotatingTraceWriter is a size-capped JSONL journal sink that rotates
+	// between whole record lines, so even a journal cut short by
+	// cancellation holds only complete JSON lines; see NewRotatingTraceWriter.
+	RotatingTraceWriter = telemetry.RotatingWriter
 )
 
 // NewTracer builds a span tracer keeping the last ringCap completed spans in
 // memory and, when w is non-nil, appending each as a JSON line to w.
 func NewTracer(ringCap int, w io.Writer) *Tracer { return telemetry.NewTracer(ringCap, w) }
+
+// NewRotatingTraceWriter opens (truncating) a rotating journal at path for
+// use as a NewTracer sink: the live file rotates to path.1 ... path.<keep>
+// once a record would push it past maxBytes (0 disables rotation). Rotation
+// only ever happens between records — each journal file always holds whole
+// JSON lines.
+func NewRotatingTraceWriter(path string, maxBytes int64, keep int) (*RotatingTraceWriter, error) {
+	return telemetry.NewRotatingWriter(path, maxBytes, keep)
+}
 
 // DefaultRegistry returns the process-wide metrics registry every package in
 // the advisor stack reports into. It is mirrored under the expvar key

@@ -24,6 +24,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/explain"
 	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/telemetry"
@@ -88,6 +89,12 @@ type Options struct {
 	// Span, if non-nil, is the parent telemetry span; the solve records one
 	// child span per phase (cophy.build, cophy.reduce, cophy.solve) under it.
 	Span *telemetry.Span
+	// Explain records the solve's optimality certificate (incumbent, proven
+	// bound, gap, node count, root LP objective and budget shadow price) on
+	// Result.Provenance and the cophy.solve span. It changes nothing about
+	// the search — the certificate is read off state the solve already
+	// computes.
+	Explain bool
 }
 
 // Stats reports the solve's size and effort.
@@ -119,6 +126,9 @@ type Result struct {
 	// Memory is P(I*).
 	Memory int64
 	Stats  Stats
+	// Provenance is the solve certificate, non-nil only under
+	// Options.Explain.
+	Provenance *explain.SolveProvenance
 }
 
 // Solve runs CoPhy over the candidate set.
@@ -154,6 +164,9 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 	bsp.SetInt("constraints", int64(stats.Constraints))
 	bsp.SetInt("whatif_calls", stats.WhatIfCalls)
 	bsp.End()
+	if opts.Explain {
+		ins.prov = &explain.SolveProvenance{}
+	}
 
 	if opts.DominanceReduction {
 		limit := opts.MaxDominanceSize
@@ -217,6 +230,24 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 	stats.DNF = dnf
 	stats.UsedLP = useLP
 
+	if ins.prov != nil {
+		p := ins.prov
+		p.UsedLP = useLP
+		p.Candidates = len(ins.cands)
+		p.Vars = stats.Vars
+		p.Constraints = stats.Constraints
+		p.Nodes = nodes
+		p.Incumbent = cost
+		p.DNF = dnf
+		// Gap can be +Inf when no bound was proven (DNF before the root
+		// solved); the record stays JSON-marshalable by carrying the
+		// certificate only when it exists.
+		if !math.IsInf(gap, 1) && !math.IsNaN(gap) {
+			p.Gap = gap
+			p.Bound = cost - gap*math.Abs(cost)
+		}
+		ssp.SetAny("provenance", *p)
+	}
 	ssp.SetBool("used_lp", useLP)
 	ssp.SetInt("nodes", int64(nodes))
 	ssp.SetFloat("gap", gap)
@@ -241,7 +272,7 @@ func Solve(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index, 
 		sel.Add(ins.cands[ci].index)
 		mem += ins.cands[ci].size
 	}
-	return &Result{Selection: sel, Cost: cost, Memory: mem, Stats: stats}, nil
+	return &Result{Selection: sel, Cost: cost, Memory: mem, Stats: stats, Provenance: ins.prov}, nil
 }
 
 // ModelSize reports the LP dimensions and what-if cost of CoPhy's
@@ -275,6 +306,11 @@ type instance struct {
 	// instance covers a prefix of the candidate set, so any solve over it is
 	// feasible but DNF with respect to the full set.
 	truncated bool
+
+	// prov, when non-nil, collects the solve certificate; the LP paths add
+	// the root-relaxation fields (objective, budget dual) as they compute
+	// them.
+	prov *explain.SolveProvenance
 }
 
 type candInfo struct {
@@ -492,7 +528,9 @@ func (ins *instance) solveLP(budget int64, gap float64, stop *fault.Stopper, par
 		// sum_k z_jk <= 1 (constraint (6) with z_j0 substituted out).
 		m.AddConstraintCols(row, ones[:len(row)], lp.LE, 1)
 	}
-	// Memory budget (constraint (8)).
+	// Memory budget (constraint (8)) — the last row, so its root dual is the
+	// budget's shadow price.
+	budgetRow := m.NumConstraints()
 	m.AddConstraintCols(memCols, memVals, lp.LE, float64(budget))
 
 	// Slight inflation keeps an incumbent that exactly matches the greedy
@@ -519,6 +557,12 @@ func (ins *instance) solveLP(budget int64, gap float64, stop *fault.Stopper, par
 	})
 	if err != nil {
 		return nil, 0, 0, 0, false, err
+	}
+	if ins.prov != nil && res.RootDuals != nil {
+		ins.prov.RootObjective = res.RootObjective + baseSum
+		if d := -res.RootDuals[budgetRow]; d > 0 {
+			ins.prov.BudgetDual = d
+		}
 	}
 	cost = math.Inf(1)
 	if res.Status == lp.Optimal {

@@ -249,6 +249,9 @@ func (ins *instance) solveLPSifted(gChosen []int, gCost float64, budget int64, g
 	for j := range ins.base {
 		baseSum += ins.freq[j] * ins.base[j]
 	}
+	if ins.prov != nil {
+		ins.prov.Sifted = true
+	}
 
 	asp := span.Child("cophy.ascent")
 	asc := newAscent(ins, budget)
@@ -431,6 +434,10 @@ func (ins *instance) solveLPSifted(gChosen []int, gCost float64, budget int64, g
 		}
 		if lb := ins.lagrangeBound(vv, lamLP, budget); lb > bound {
 			bound = lb
+		}
+		if ins.prov != nil {
+			ins.prov.RootObjective = res.RootObjective + baseSum
+			ins.prov.BudgetDual = lamLP
 		}
 	}
 

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/explain"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/whatif"
@@ -115,6 +116,18 @@ type Options struct {
 	// the differential tests enforce it — so the knob exists for those tests
 	// and for A/B benchmarks, not for production use.
 	Reference bool
+	// Explain records decision provenance: one explain.StepProvenance per
+	// applied step (gain decomposition by query, maintenance delta,
+	// runner-up margin, and the lazy loop's prune ledger) on
+	// Result.Provenance and on each step's telemetry span. Recording reads
+	// state the step loop already maintains — it changes no evaluation, no
+	// tie-break, and no what-if call, so traces are bit-identical with
+	// Explain on or off; when off, no provenance path allocates. Ignored by
+	// the Reference oracle.
+	Explain bool
+	// Progress, if non-nil, receives one live-progress update per applied
+	// construction step (never per candidate) for the /progress endpoint.
+	Progress *telemetry.ProgressRun
 	// Span, if non-nil, is the parent telemetry span (normally the advisor's
 	// per-Select root span); the run records one child span per construction
 	// step under it. Nil disables tracing with zero overhead.
@@ -224,6 +237,9 @@ type Result struct {
 	Pruned int
 	// Approximate echoes Options.Approximate (0 = exact mode).
 	Approximate float64
+	// Provenance, when Options.Explain was set, holds one record per Step,
+	// aligned by index (drop steps included). Nil otherwise.
+	Provenance []explain.StepProvenance
 	// StopReason says why the construction loop ended: converged (no viable
 	// candidate), budget-exhausted (viable candidates remained but none fit
 	// the memory budget), max-steps, deadline, or cancelled.
@@ -385,6 +401,21 @@ type selector struct {
 	// copies them into the recorded Step.
 	lastCandidates, lastEvaluated, lastCached, lastPruned int
 	totalEvaluated, totalCached, totalPruned              int
+
+	// Provenance capture state, touched only when opts.Explain is set:
+	// prov accumulates one record per applied step; byQueryScratch is
+	// mutateStep's reusable per-query-delta buffer (captureDeltas fills it,
+	// captureProv copies the capped top into the record); lastReadGain and
+	// lastChanged summarize the buffer; the lastLedger fields carry the lazy
+	// loop's prune ledger from collectLazy to the apply that records it.
+	prov            []explain.StepProvenance
+	byQueryScratch  []explain.QueryDelta
+	lastReadGain    float64
+	lastChanged     int
+	lastLedger      []explain.PrunedBucket
+	lastLedgerBkts  int
+	lastLedgerSkip  int
+	lastLedgerTrunc bool
 
 	// stop folds Options.Context and Options.Deadline into the sticky stop
 	// signal checked at step boundaries and polled by the evaluation workers.
@@ -874,7 +905,7 @@ func (s *selector) storeGain(t evalTask, e gainEntry) {
 // extension lands has no net change, and its co-occurring new-index gains are
 // still exact.
 func (s *selector) mutateStep(lead int, f func()) {
-	if s.gains == nil && s.lazy == nil {
+	if s.gains == nil && s.lazy == nil && !s.opts.Explain {
 		f()
 		return
 	}
@@ -885,11 +916,107 @@ func (s *selector) mutateStep(lead int, f func()) {
 	}
 	s.snapCost = snap
 	f()
+	if s.opts.Explain {
+		s.captureDeltas(lead, snap)
+	}
 	if s.lazy != nil {
 		s.lazy.noteMutation(s, lead, snap)
 		return
 	}
-	s.invalidateStale(lead, snap)
+	if s.gains != nil {
+		s.invalidateStale(lead, snap)
+	}
+}
+
+// captureDeltas turns mutateStep's cost snapshot into the step's per-query
+// provenance: every affected query's frequency-weighted movement, plus the
+// net read gain. Pure bookkeeping over values the mutation already computed
+// — it issues no what-if calls and runs only when Options.Explain is set.
+func (s *selector) captureDeltas(lead int, snap []float64) {
+	s.byQueryScratch = s.byQueryScratch[:0]
+	s.lastReadGain, s.lastChanged = 0, 0
+	for i, qid := range s.queriesWith[lead] {
+		old, now := snap[i], s.cost[qid]
+		if now == old {
+			continue
+		}
+		q := s.w.Queries[qid]
+		s.lastChanged++
+		s.lastReadGain += float64(q.Freq) * (old - now)
+		s.byQueryScratch = append(s.byQueryScratch, explain.QueryDelta{
+			Query: int(qid), Freq: q.Freq,
+			Before: old, After: now,
+			Delta: float64(q.Freq) * (now - old),
+		})
+	}
+}
+
+// captureProv records the just-applied step's provenance; st is the step
+// apply (or dropUnused) appended last. second/haveSecond carry the decision
+// phase's runner-up — available whenever one was evaluated, independent of
+// TrackSecondBest.
+func (s *selector) captureProv(st *Step, second candidate, haveSecond bool, wsumBefore, reconBefore float64) {
+	p := explain.StepProvenance{
+		Step:             len(s.steps) - 1,
+		Kind:             st.Kind.String(),
+		Index:            st.Index.Key(),
+		Gain:             st.CostBefore - st.CostAfter,
+		ReadGain:         s.lastReadGain,
+		MaintenanceDelta: s.wsum - wsumBefore,
+		ReconfigDelta:    s.recon - reconBefore,
+		MemDeltaBytes:    st.MemAfter - st.MemBefore,
+		Ratio:            st.Ratio,
+		QueriesChanged:   s.lastChanged,
+		Candidates:       st.Candidates,
+		Evaluated:        st.Evaluated,
+		CacheServed:      st.CacheServed,
+		Pruned:           st.Pruned,
+	}
+	if st.Replaced != nil {
+		p.Replaced = st.Replaced.Key()
+	}
+	if haveSecond {
+		p.RunnerUp = &explain.RunnerUp{
+			Kind:  second.kind.String(),
+			Index: second.index.Key(),
+			Ratio: second.ratio,
+		}
+		p.Margin = st.Ratio - second.ratio
+	}
+	// Largest movement first; the cap keeps journal lines bounded while
+	// ReadGain/QueriesChanged preserve the uncapped totals.
+	sort.Slice(s.byQueryScratch, func(i, j int) bool {
+		di, dj := math.Abs(s.byQueryScratch[i].Delta), math.Abs(s.byQueryScratch[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return s.byQueryScratch[i].Query < s.byQueryScratch[j].Query
+	})
+	top := s.byQueryScratch
+	if len(top) > explain.MaxByQuery {
+		top = top[:explain.MaxByQuery]
+		p.ByQueryTruncated = true
+	}
+	if len(top) > 0 {
+		p.ByQuery = append([]explain.QueryDelta(nil), top...)
+	}
+	if s.lastLedger != nil || s.lastLedgerSkip > 0 {
+		p.PruneLedger = s.lastLedger
+		p.LedgerBuckets = s.lastLedgerBkts
+		p.LedgerSkipped = s.lastLedgerSkip
+		p.LedgerTruncated = s.lastLedgerTrunc
+		s.lastLedger, s.lastLedgerBkts, s.lastLedgerSkip, s.lastLedgerTrunc = nil, 0, 0, false
+	}
+	s.prov = append(s.prov, p)
+}
+
+// lastProv returns the most recent provenance record, nil when explain is
+// off (finishStep journals it alongside the step's scalar attributes).
+func (s *selector) lastProv() *explain.StepProvenance {
+	if len(s.prov) == 0 {
+		return nil
+	}
+	return &s.prov[len(s.prov)-1]
 }
 
 // invalidateStale drops the cached gains that an applied (or dropped) index
@@ -972,6 +1099,7 @@ func (s *selector) pairUniverse() [][2]int {
 // apply mutates the state with the chosen candidate and records the step.
 func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 	before, memBefore := s.total(), s.mem
+	wsumBefore, reconBefore := s.wsum, s.recon
 
 	s.mutateStep(c.index.Leading(), func() {
 		if c.replaced != nil {
@@ -1001,6 +1129,9 @@ func (s *selector) apply(c candidate, second candidate, haveSecond bool) {
 		step.RunnerUp = &Alternative{Kind: second.kind, Index: second.index, Ratio: second.ratio}
 	}
 	s.steps = append(s.steps, step)
+	if s.opts.Explain {
+		s.captureProv(&s.steps[len(s.steps)-1], second, haveSecond, wsumBefore, reconBefore)
+	}
 }
 
 // addIndex inserts idx into the selection and refreshes affected queries.
@@ -1076,6 +1207,7 @@ func (s *selector) dropUnused() {
 				continue // still worth keeping
 			}
 			before, memBefore := s.total(), s.mem
+			wsumBefore, reconBefore := s.wsum, s.recon
 			s.mutateStep(e.k.Leading(), func() {
 				s.removeIndex(e.k, e.id)
 			})
@@ -1090,6 +1222,9 @@ func (s *selector) dropUnused() {
 				MemBefore:  memBefore,
 				MemAfter:   s.mem,
 			})
+			if s.opts.Explain {
+				s.captureProv(&s.steps[len(s.steps)-1], candidate{}, false, wsumBefore, reconBefore)
+			}
 			changed = true
 		}
 	}
@@ -1169,10 +1304,12 @@ func (s *selector) run() (*Result, error) {
 			break // collect set stopReason
 		}
 		s.apply(best, second, haveSecond)
-		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
+		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers, s.lastProv())
 		if s.opts.DropUnused {
 			s.dropUnused()
 		}
+		s.opts.Progress.Update(len(s.steps), initial, s.total(), s.mem,
+			int64(s.totalEvaluated), int64(s.totalCached), int64(s.totalPruned))
 	}
 	res := &Result{
 		Steps:       s.steps,
@@ -1184,6 +1321,7 @@ func (s *selector) run() (*Result, error) {
 		Evaluated:   s.totalEvaluated,
 		CacheServed: s.totalCached,
 		Pruned:      s.totalPruned,
+		Provenance:  s.prov,
 		StopReason:  s.stopReason,
 		Partial:     s.stopReason.Interrupted(),
 	}
@@ -1196,7 +1334,9 @@ func (s *selector) run() (*Result, error) {
 
 // finishStep records a just-applied step's telemetry: its child span and
 // the package metrics. One call per construction step — never per candidate.
-func finishStep(sp *telemetry.Span, start time.Time, st *Step, workers int) {
+// prov, when non-nil, is journaled as a structured attribute so the run
+// journal carries the full decision provenance (journal schema v2).
+func finishStep(sp *telemetry.Span, start time.Time, st *Step, workers int, prov *explain.StepProvenance) {
 	mSteps.Inc()
 	mStepDur.Observe(time.Since(start).Seconds())
 	mEvaluated.Add(int64(st.Evaluated))
@@ -1213,7 +1353,11 @@ func finishStep(sp *telemetry.Span, start time.Time, st *Step, workers int) {
 	sp.SetInt("candidates", int64(st.Candidates))
 	sp.SetInt("evaluated", int64(st.Evaluated))
 	sp.SetInt("cache_served", int64(st.CacheServed))
+	sp.SetInt("pruned", int64(st.Pruned))
 	sp.SetInt("workers", int64(workers))
+	if prov != nil {
+		sp.SetAny("provenance", *prov)
+	}
 	sp.End()
 }
 
@@ -1378,7 +1522,30 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		cur, curCost, curMem = best.sel, bestCost, bestMem
 		s.steps = steps
 		s.totalEvaluated += evaluated
-		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
+		if s.opts.Explain {
+			// Remark 2 evaluates whole selections: a per-query decomposition
+			// would need extra what-if calls, so the record carries the
+			// selection-level movement only.
+			st := &s.steps[len(s.steps)-1]
+			p := explain.StepProvenance{
+				Step:          len(s.steps) - 1,
+				Kind:          st.Kind.String(),
+				Index:         st.Index.Key(),
+				Gain:          st.CostBefore - st.CostAfter,
+				ReadGain:      st.CostBefore - st.CostAfter,
+				MemDeltaBytes: st.MemAfter - st.MemBefore,
+				Ratio:         st.Ratio,
+				Candidates:    st.Candidates,
+				Evaluated:     st.Evaluated,
+			}
+			if st.Replaced != nil {
+				p.Replaced = st.Replaced.Key()
+			}
+			s.prov = append(s.prov, p)
+		}
+		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers, s.lastProv())
+		s.opts.Progress.Update(len(s.steps), initial, curCost, curMem,
+			int64(s.totalEvaluated), 0, 0)
 	}
 	res := &Result{
 		Steps:       steps,
@@ -1388,6 +1555,7 @@ func (s *selector) runMultiIndex() (*Result, error) {
 		Memory:      curMem,
 		Workers:     1,
 		Evaluated:   s.totalEvaluated,
+		Provenance:  s.prov,
 		StopReason:  s.stopReason,
 		Partial:     s.stopReason.Interrupted(),
 	}

@@ -74,7 +74,9 @@ package core
 
 import (
 	"math"
+	"sort"
 
+	"repro/internal/explain"
 	"repro/internal/fault"
 	"repro/internal/workload"
 )
@@ -507,6 +509,9 @@ func (s *selector) collectLazy() (best, second candidate, haveSecond, ok bool, e
 	if approxCut {
 		mLazyApproxSteps.Inc()
 	}
+	if s.opts.Explain && ok {
+		lz.captureLedger(s)
+	}
 
 	if lazyAuditHook != nil {
 		s.auditLazyStep()
@@ -523,6 +528,75 @@ func (s *selector) collectLazy() (best, second candidate, haveSecond, ok bool, e
 		}
 	}
 	return best, second, haveSecond, ok, nil
+}
+
+// captureLedger builds the decided step's prune ledger from the heap items
+// the cut left behind: a remaining bucket sentinel means the whole bucket
+// was pruned by its aggregate bound without being opened; a remaining entry
+// item is an individually pruned stale candidate (exact entries left on the
+// heap were already counted cache-served and are excluded). The ledger's
+// Skipped total therefore equals the step's Pruned count exactly. Read-only
+// over the heap; runs only under Options.Explain, after the decision is
+// final — it cannot perturb the trace.
+func (lz *lazyState) captureLedger(s *selector) {
+	bkts := make(map[int32]*explain.PrunedBucket)
+	order := make([]int32, 0, 16)
+	skipped := 0
+	for _, it := range lz.heap.items {
+		if it.entry == nil {
+			b := it.bucket
+			bk := &lz.buckets[b]
+			n := len(bk.entries)
+			bkts[b] = &explain.PrunedBucket{
+				Lead:    int(b),
+				Bound:   it.prio,
+				Epoch:   lz.extEpoch[b],
+				Entries: n,
+				Skipped: n,
+			}
+			order = append(order, b)
+			skipped += n
+			continue
+		}
+		e := it.entry
+		if e.evaluated && !e.dead && lz.epoch(e.key.kind, int(e.lead)) == e.epochAt {
+			continue // exact: counted cache-served at bucket open
+		}
+		pb, okb := bkts[e.lead]
+		if !okb {
+			pb = &explain.PrunedBucket{
+				Lead:    int(e.lead),
+				Bound:   math.Inf(-1),
+				Epoch:   lz.extEpoch[e.lead],
+				Entries: len(lz.buckets[e.lead].entries),
+				Opened:  true,
+			}
+			bkts[e.lead] = pb
+			order = append(order, e.lead)
+		}
+		pb.Skipped++
+		if it.prio > pb.Bound {
+			pb.Bound = it.prio
+		}
+		skipped++
+	}
+
+	ledger := make([]explain.PrunedBucket, 0, len(order))
+	for _, b := range order {
+		ledger = append(ledger, *bkts[b])
+	}
+	sort.Slice(ledger, func(i, j int) bool {
+		if ledger[i].Bound != ledger[j].Bound {
+			return ledger[i].Bound > ledger[j].Bound
+		}
+		return ledger[i].Lead < ledger[j].Lead
+	})
+	s.lastLedgerBkts, s.lastLedgerSkip = len(ledger), skipped
+	s.lastLedgerTrunc = len(ledger) > explain.MaxPruneLedger
+	if s.lastLedgerTrunc {
+		ledger = ledger[:explain.MaxPruneLedger]
+	}
+	s.lastLedger = ledger
 }
 
 // auditLazyStep re-evaluates every candidate against the still-frozen state

@@ -681,7 +681,7 @@ func (s *refSelector) run() (*Result, error) {
 			break // collect set stopReason
 		}
 		s.apply(best, second, haveSecond)
-		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers)
+		finishStep(sp, stepStart, &s.steps[len(s.steps)-1], s.workers, nil)
 		if s.opts.DropUnused {
 			s.dropUnused()
 		}

@@ -1,0 +1,221 @@
+package explain
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/telemetry"
+)
+
+// Run is a structured view of one advisor run reconstructed from a JSONL
+// span journal (telemetry.Tracer output): the root advisor.select span, its
+// construction steps in trace order, and any provenance/attribution records
+// the run journaled.
+type Run struct {
+	Strategy    string
+	BaseCost    float64
+	Cost        float64
+	MemoryBytes int64
+	BudgetBytes int64
+	Indexes     int
+	StopReason  string
+
+	Steps []JournalStep
+	// Attribution is the journaled attribution table (nil when the run did
+	// not enable explain).
+	Attribution *Attribution
+	// Heuristic/Solve carry the non-Extend strategy provenance when present.
+	Heuristic *SelectionProvenance
+	Solve     *SolveProvenance
+}
+
+// JournalStep is one extend.step span of the run.
+type JournalStep struct {
+	Kind      string
+	Index     string
+	Gain      float64
+	Ratio     float64
+	CostAfter float64
+	MemAfter  int64
+
+	Candidates  int
+	Evaluated   int
+	CacheServed int
+	Pruned      int
+
+	// Provenance is the step's journaled StepProvenance (nil when the run
+	// did not enable explain).
+	Provenance *StepProvenance
+}
+
+// FrontierPoint mirrors the core frontier: the (memory, cost) point after a
+// step.
+type FrontierPoint struct {
+	Memory int64
+	Cost   float64
+}
+
+// Frontier derives the run's performance/memory frontier from its steps,
+// prefixed with the empty-selection point.
+func (r *Run) Frontier() []FrontierPoint {
+	pts := make([]FrontierPoint, 0, len(r.Steps)+1)
+	pts = append(pts, FrontierPoint{Memory: 0, Cost: r.BaseCost})
+	for _, s := range r.Steps {
+		pts = append(pts, FrontierPoint{Memory: s.MemAfter, Cost: s.CostAfter})
+	}
+	return pts
+}
+
+// TotalPruned sums the per-step prune counts.
+func (r *Run) TotalPruned() int {
+	var t int
+	for _, s := range r.Steps {
+		t += s.Pruned
+	}
+	return t
+}
+
+// ReadJournal parses a JSONL span journal and reconstructs the LAST
+// completed advisor run it contains (a journal may hold several runs; the
+// last is the one a CLI invocation just produced). Lines that are not valid
+// JSON — e.g. a line torn by a crash mid-write — terminate the scan with an
+// error naming the line number.
+func ReadJournal(r io.Reader) (*Run, error) {
+	var recs []telemetry.Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec telemetry.Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal read: %w", err)
+	}
+	return runFromRecords(recs)
+}
+
+func runFromRecords(recs []telemetry.Record) (*Run, error) {
+	rootIdx := -1
+	for i := range recs {
+		if recs[i].Name == "advisor.select" {
+			rootIdx = i
+		}
+	}
+	if rootIdx < 0 {
+		return nil, fmt.Errorf("journal contains no advisor.select span")
+	}
+	root := recs[rootIdx]
+	run := &Run{
+		Strategy:    attrStr(root.Attrs, "strategy"),
+		BaseCost:    attrFloat(root.Attrs, "base_cost"),
+		Cost:        attrFloat(root.Attrs, "cost"),
+		MemoryBytes: attrInt(root.Attrs, "memory_bytes"),
+		BudgetBytes: attrInt(root.Attrs, "budget_bytes"),
+		Indexes:     int(attrInt(root.Attrs, "indexes")),
+		StopReason:  attrStr(root.Attrs, "stop_reason"),
+	}
+	if v, ok := root.Attrs["attribution"]; ok {
+		var a Attribution
+		if err := reDecode(v, &a); err != nil {
+			return nil, fmt.Errorf("journal attribution record: %w", err)
+		}
+		run.Attribution = &a
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Parent != root.ID {
+			continue
+		}
+		switch rec.Name {
+		case "extend.step":
+			st := JournalStep{
+				Kind:        attrStr(rec.Attrs, "kind"),
+				Index:       attrStr(rec.Attrs, "index"),
+				Gain:        attrFloat(rec.Attrs, "gain"),
+				Ratio:       attrFloat(rec.Attrs, "ratio"),
+				CostAfter:   attrFloat(rec.Attrs, "cost_after"),
+				MemAfter:    attrInt(rec.Attrs, "mem_after_bytes"),
+				Candidates:  int(attrInt(rec.Attrs, "candidates")),
+				Evaluated:   int(attrInt(rec.Attrs, "evaluated")),
+				CacheServed: int(attrInt(rec.Attrs, "cache_served")),
+				Pruned:      int(attrInt(rec.Attrs, "pruned")),
+			}
+			if v, ok := rec.Attrs["provenance"]; ok {
+				var p StepProvenance
+				if err := reDecode(v, &p); err != nil {
+					return nil, fmt.Errorf("journal step provenance: %w", err)
+				}
+				st.Provenance = &p
+			}
+			run.Steps = append(run.Steps, st)
+		case "heuristics.rank":
+			if v, ok := rec.Attrs["provenance"]; ok {
+				var p SelectionProvenance
+				if err := reDecode(v, &p); err != nil {
+					return nil, fmt.Errorf("journal heuristic provenance: %w", err)
+				}
+				run.Heuristic = &p
+			}
+		case "cophy.solve":
+			if v, ok := rec.Attrs["provenance"]; ok {
+				var p SolveProvenance
+				if err := reDecode(v, &p); err != nil {
+					return nil, fmt.Errorf("journal solve provenance: %w", err)
+				}
+				run.Solve = &p
+			}
+		}
+	}
+	return run, nil
+}
+
+// reDecode converts a decoded-as-any attribute value (map[string]any after
+// the JSONL round trip, or the original struct when records come straight
+// from a tracer ring snapshot) into a typed provenance record.
+func reDecode(v any, out any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, out)
+}
+
+func attrStr(attrs map[string]any, key string) string {
+	s, _ := attrs[key].(string)
+	return s
+}
+
+func attrFloat(attrs map[string]any, key string) float64 {
+	switch n := attrs[key].(type) {
+	case float64:
+		return n
+	case int64:
+		return float64(n)
+	case int:
+		return float64(n)
+	}
+	return 0
+}
+
+func attrInt(attrs map[string]any, key string) int64 {
+	switch n := attrs[key].(type) {
+	case float64:
+		return int64(n)
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	}
+	return 0
+}

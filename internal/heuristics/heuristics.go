@@ -24,6 +24,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/explain"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/whatif"
@@ -93,6 +94,11 @@ type Options struct {
 	// Deadline, if non-zero, is an explicit wall-clock deadline folded with
 	// the context's (the earlier wins).
 	Deadline time.Time
+	// Explain records selection provenance (the ranked pool with every
+	// candidate's score and fate) on Result.Provenance and the run's
+	// heuristics.rank span. It changes no score, tie-break, or what-if call —
+	// the returned selection is identical with it on or off.
+	Explain bool
 }
 
 // Result is a heuristic's selection with its evaluation.
@@ -110,6 +116,9 @@ type Result struct {
 	// Partial is set when the run was interrupted (deadline or cancellation)
 	// and the selection covers only the candidates scored before the cut.
 	Partial bool
+	// Provenance is the ranked-pool record, non-nil only under
+	// Options.Explain.
+	Provenance *explain.SelectionProvenance
 }
 
 // Select runs the given heuristic over the candidate set. A panic inside the
@@ -128,6 +137,10 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 	}
 	start := time.Now()
 	stop := fault.NewStopper(opts.Context, opts.Deadline)
+	var prov *explain.SelectionProvenance
+	if opts.Explain {
+		prov = &explain.SelectionProvenance{Rule: rule.String()}
+	}
 	pool := cands
 	if opts.Skyline {
 		ssp := opts.Span.Child("heuristics.skyline")
@@ -135,6 +148,10 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		ssp.SetInt("candidates_before", int64(len(cands)))
 		ssp.SetInt("candidates_after", int64(len(pool)))
 		ssp.End()
+		if prov != nil {
+			prov.SkylineBefore = len(cands)
+			prov.SkylineAfter = len(pool)
+		}
 	}
 	rsp := opts.Span.Child("heuristics.rank")
 	scores := score(w, opt, pool, rule, stop)
@@ -153,26 +170,52 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		return pool[ia].Key() < pool[ib].Key()
 	})
 
+	if prov != nil {
+		prov.PoolSize = len(pool)
+		prov.Scored = len(scores)
+	}
+
 	in := opt.Interner()
 	ids := workload.NewIDSelection(in)
 	var mem int64
-	for _, i := range order {
+	for rank, i := range order {
 		k := pool[i]
 		id := in.Intern(k)
-		if ids.Has(id) {
-			continue
-		}
+		taken, reason := false, ""
+		switch {
+		case ids.Has(id):
+			reason = "duplicate"
 		// Benefit-based rules never take net-harmful candidates (negative
 		// score means maintenance outweighs the read improvement).
-		if (rule == H4 || rule == H5) && scores[i] <= 0 {
+		case (rule == H4 || rule == H5) && scores[i] <= 0:
+			reason = "non-positive-score"
+		default:
+			sz := opt.IndexSizeInterned(k, id)
+			if mem+sz > opts.Budget {
+				reason = "over-budget"
+			} else {
+				ids.Add(id)
+				mem += sz
+				taken = true
+			}
+		}
+		if prov == nil {
 			continue
 		}
-		sz := opt.IndexSizeInterned(k, id)
-		if mem+sz > opts.Budget {
+		// Cap the recorded ranking, but a taken candidate is always included
+		// — the selected set must be reconstructible from the record alone.
+		if len(prov.Ranking) >= explain.MaxRanking && !taken {
+			prov.RankingTruncated = true
 			continue
 		}
-		ids.Add(id)
-		mem += sz
+		prov.Ranking = append(prov.Ranking, explain.RankedCandidate{
+			Rank:      rank + 1,
+			Index:     k.Key(),
+			Score:     scores[i],
+			SizeBytes: opt.IndexSizeInterned(k, id),
+			Taken:     taken,
+			Reason:    reason,
+		})
 	}
 	sel := ids.Selection()
 	reason := stop.Check()
@@ -186,11 +229,15 @@ func Select(w *workload.Workload, opt *whatif.Optimizer, cands []workload.Index,
 		Considered: len(pool),
 		StopReason: reason,
 		Partial:    reason.Interrupted(),
+		Provenance: prov,
 	}
 	rsp.SetStr("rule", rule.String())
 	rsp.SetInt("considered", int64(res.Considered))
 	rsp.SetInt("selected", int64(len(sel)))
 	rsp.SetInt("memory_bytes", mem)
+	if prov != nil {
+		rsp.SetAny("provenance", *prov)
+	}
 	rsp.End()
 	mRuns.Inc()
 	mRunDur.Observe(time.Since(start).Seconds())

@@ -1,23 +1,26 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // NewMux returns an http.ServeMux exposing the registry at /metrics
-// (Prometheus text format), the expvar mirror at /debug/vars, and the
-// pprof handlers under /debug/pprof/ — the standard inspection surface for
-// a long-running advisor service, on one mux so a single -metrics-addr
-// flag wires all of it.
+// (Prometheus text format), the live-run progress at /progress, the expvar
+// mirror at /debug/vars, and the pprof handlers under /debug/pprof/ — the
+// standard inspection surface for a long-running advisor service, on one
+// mux so a single -metrics-addr flag wires all of it.
 func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
+	mux.HandleFunc("/progress", handleProgress)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -25,6 +28,58 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleProgress serves the current selection run's progress. Without
+// parameters it returns one JSON snapshot; with ?stream=1 it streams
+// snapshots as server-sent events (one `data:` line per tick, default every
+// 200ms, ?interval= to override) until the run finishes or the client goes
+// away — `curl -N :PORT/progress?stream=1` watches a deadline-bound run
+// live.
+func handleProgress(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("stream") == "" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ProgressSnapshot())
+		return
+	}
+
+	interval := 200 * time.Millisecond
+	if s := req.URL.Query().Get("interval"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d >= 50*time.Millisecond {
+			interval = d
+		}
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st := ProgressSnapshot()
+		b, err := json.Marshal(st)
+		if err != nil {
+			return
+		}
+		if _, err := w.Write(append(append([]byte("data: "), b...), '\n', '\n')); err != nil {
+			return
+		}
+		fl.Flush()
+		if st.Done && !st.Active {
+			return
+		}
+		select {
+		case <-req.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
 }
 
 // Serve starts an HTTP server for NewMux(r) on addr in a background

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-capped JSONL journal sink. The tracer writes one
+// complete line per call (trace.go marshals the whole record before the
+// single Write), and the writer rotates BETWEEN calls, never inside one —
+// so every journal file, including a file cut short by cancellation or
+// crash-adjacent shutdown, holds only complete JSON lines.
+//
+// Rotation shifts path -> path.1 -> ... -> path.<keep>, dropping the
+// oldest. A maxBytes of 0 disables rotation (plain append-to-one-file).
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	keep     int
+	f        *os.File
+	size     int64
+}
+
+// NewRotatingWriter opens (truncating) the journal at path. keep is the
+// number of rotated-out files retained (minimum 1 when rotation is on).
+func NewRotatingWriter(path string, maxBytes int64, keep int) (*RotatingWriter, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &RotatingWriter{path: path, maxBytes: maxBytes, keep: keep, f: f}, nil
+}
+
+// Write appends one record line, rotating first when the line would push
+// the current file past maxBytes. A line longer than maxBytes still goes
+// out whole (into a fresh file): completeness of lines beats the cap.
+func (rw *RotatingWriter) Write(p []byte) (int, error) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.f == nil {
+		return 0, os.ErrClosed
+	}
+	if rw.maxBytes > 0 && rw.size > 0 && rw.size+int64(len(p)) > rw.maxBytes {
+		if err := rw.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := rw.f.Write(p)
+	rw.size += int64(n)
+	return n, err
+}
+
+// rotate closes the live file and shifts the retained chain. Called with
+// the mutex held.
+func (rw *RotatingWriter) rotate() error {
+	if err := rw.f.Close(); err != nil {
+		return err
+	}
+	rw.f = nil
+	os.Remove(fmt.Sprintf("%s.%d", rw.path, rw.keep))
+	for i := rw.keep - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", rw.path, i), fmt.Sprintf("%s.%d", rw.path, i+1))
+	}
+	if err := os.Rename(rw.path, rw.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.Create(rw.path)
+	if err != nil {
+		return err
+	}
+	rw.f, rw.size = f, 0
+	return nil
+}
+
+// Close flushes nothing (each Write is already a whole line hitting the OS)
+// and closes the live file. Further Writes fail with os.ErrClosed.
+func (rw *RotatingWriter) Close() error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if rw.f == nil {
+		return nil
+	}
+	err := rw.f.Close()
+	rw.f = nil
+	return err
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -262,11 +263,23 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for i, name := range names {
 		e := entries[i]
 		if e.help != "" {
-			fmt.Fprintf(w, "# HELP %s %s\n", name, e.help)
+			fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(e.help))
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n", name, e.m.kind())
 		e.m.writeSamples(w, name)
 	}
+}
+
+// escapeHelp escapes HELP text per the Prometheus text format: backslash
+// and line feed are the only characters with escape sequences there (label
+// values additionally escape double quotes, which %q already handles).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	return helpEscaper.Replace(s)
 }
 
 // Snapshot returns the registry as a plain name -> value map (histograms

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// ProgressState is a point-in-time snapshot of the most recent selection
+// run, served by the /progress endpoint so a deadline-bound run can be
+// watched live: current step, best-so-far objective, deadline remaining,
+// and the lazy loop's prune counters.
+type ProgressState struct {
+	// Active is true while a selection is running; Done is true once at
+	// least one run has finished since process start.
+	Active   bool   `json:"active"`
+	Done     bool   `json:"done"`
+	Strategy string `json:"strategy,omitempty"`
+
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	BudgetBytes int64     `json:"budget_bytes,omitempty"`
+	// Deadline is the run's absolute wall-clock bound (zero when none);
+	// DeadlineRemainingSeconds is computed at snapshot time and negative
+	// once the deadline has passed.
+	Deadline                 time.Time `json:"deadline,omitempty"`
+	DeadlineRemainingSeconds float64   `json:"deadline_remaining_seconds,omitempty"`
+
+	// Step is the number of applied construction steps so far; BestCost the
+	// best-so-far objective (InitialCost until the first step lands).
+	Step        int     `json:"step"`
+	InitialCost float64 `json:"initial_cost"`
+	BestCost    float64 `json:"best_cost"`
+	MemoryBytes int64   `json:"memory_bytes"`
+
+	// Evaluated/CacheServed/Pruned mirror the run's candidate accounting.
+	Evaluated   int64 `json:"evaluated"`
+	CacheServed int64 `json:"cache_served"`
+	Pruned      int64 `json:"pruned"`
+
+	StopReason string `json:"stop_reason,omitempty"`
+	Partial    bool   `json:"partial,omitempty"`
+}
+
+// progressTracker is the process-wide run-progress cell. A generation
+// counter fences stale writers: a ProgressRun handle left over from an
+// earlier (possibly abandoned) run cannot clobber the state of a newer one.
+type progressTracker struct {
+	mu  sync.Mutex
+	gen uint64
+	st  ProgressState
+}
+
+var progress progressTracker
+
+// ProgressRun is a writer handle for one selection run. All methods are
+// nil-safe no-ops, so instrumented code needs no feature gates; updates are
+// a mutex-guarded field copy (no allocation) and are issued once per
+// construction step, never per candidate.
+type ProgressRun struct {
+	gen uint64
+}
+
+// BeginProgress marks a new run as the live one and returns its writer
+// handle. deadline may be zero (no deadline).
+func BeginProgress(strategy string, budgetBytes int64, deadline time.Time) *ProgressRun {
+	progress.mu.Lock()
+	defer progress.mu.Unlock()
+	progress.gen++
+	progress.st = ProgressState{
+		Active:      true,
+		Strategy:    strategy,
+		StartedAt:   time.Now(),
+		BudgetBytes: budgetBytes,
+		Deadline:    deadline,
+	}
+	return &ProgressRun{gen: progress.gen}
+}
+
+// Update publishes the run's per-step progress. Ignored when a newer run
+// has begun since this handle was issued.
+func (p *ProgressRun) Update(step int, initialCost, bestCost float64, memBytes, evaluated, cacheServed, pruned int64) {
+	if p == nil {
+		return
+	}
+	progress.mu.Lock()
+	defer progress.mu.Unlock()
+	if p.gen != progress.gen {
+		return
+	}
+	st := &progress.st
+	st.Step = step
+	st.InitialCost = initialCost
+	st.BestCost = bestCost
+	st.MemoryBytes = memBytes
+	st.Evaluated = evaluated
+	st.CacheServed = cacheServed
+	st.Pruned = pruned
+}
+
+// Finish marks the run complete with its stop reason.
+func (p *ProgressRun) Finish(stopReason string, partial bool) {
+	if p == nil {
+		return
+	}
+	progress.mu.Lock()
+	defer progress.mu.Unlock()
+	if p.gen != progress.gen {
+		return
+	}
+	progress.st.Active = false
+	progress.st.Done = true
+	progress.st.StopReason = stopReason
+	progress.st.Partial = partial
+}
+
+// ProgressSnapshot returns the live run's current state, with the
+// deadline-remaining field evaluated now.
+func ProgressSnapshot() ProgressState {
+	progress.mu.Lock()
+	st := progress.st
+	progress.mu.Unlock()
+	if !st.Deadline.IsZero() {
+		st.DeadlineRemainingSeconds = time.Until(st.Deadline).Seconds()
+	}
+	return st
+}

@@ -184,6 +184,19 @@ func (s *Span) SetBool(key string, v bool) {
 	s.set(key, v)
 }
 
+// SetAny attaches an arbitrary JSON-marshalable attribute — structured
+// provenance records and attribution tables, not scalars. The value is
+// marshaled when the span ends, so callers must hand over either an
+// immutable value or one they will not mutate afterwards. Nil-safe like the
+// scalar setters; unlike them the argument interface-boxes, so call sites on
+// hot paths must gate the call on the feature that produces the value.
+func (s *Span) SetAny(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
+
 // Discard drops the span: End becomes a no-op. Used when a phase opened a
 // span but turned out to do nothing worth journaling.
 func (s *Span) Discard() {

@@ -1,0 +1,70 @@
+package indexsel
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every indexsel_* metric must follow the naming conventions DESIGN.md §14
+// documents: counters end in _total, duration histograms in _seconds, and
+// gauges carry neither suffix (they are levels, not accumulations). The test
+// runs all three strategy families first so the lazily registered metrics of
+// each subsystem are present in the default registry when it is audited.
+func TestMetricNameConventions(t *testing.T) {
+	w, err := TPCCWorkload(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &Telemetry{}
+	for _, s := range []Strategy{StrategyExtend, StrategyCoPhy, StrategyH1} {
+		adv := NewAdvisor(w, WithBudgetShare(0.2), WithTelemetry(tel))
+		if _, err := adv.Select(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+
+	var expo bytes.Buffer
+	DefaultRegistry().WritePrometheus(&expo)
+
+	nameRE := regexp.MustCompile(`^indexsel_[a-z][a-z0-9_]*$`)
+	typeRE := regexp.MustCompile(`^# TYPE (\S+) (\S+)$`)
+	audited := 0
+	for _, line := range strings.Split(expo.String(), "\n") {
+		m := typeRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name, kind := m[1], m[2]
+		if !strings.HasPrefix(name, "indexsel_") {
+			t.Errorf("metric %q outside the indexsel_ namespace", name)
+			continue
+		}
+		audited++
+		if !nameRE.MatchString(name) {
+			t.Errorf("metric %q is not lower_snake_case", name)
+		}
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				t.Errorf("counter %q must end in _total", name)
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") {
+				t.Errorf("duration histogram %q must end in _seconds", name)
+			}
+		case "gauge":
+			if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_seconds") {
+				t.Errorf("gauge %q carries a counter/histogram suffix", name)
+			}
+		default:
+			t.Errorf("metric %q has unknown type %q", name, kind)
+		}
+	}
+	// The audit is only meaningful if the runs above actually registered the
+	// per-subsystem metrics (extend loop, what-if cache, CoPhy solver, H1).
+	if audited < 20 {
+		t.Fatalf("audited only %d metrics; subsystem registration regressed?", audited)
+	}
+}
