@@ -12,6 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 3
 BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental|Lazy|ParallelLazy)$$
 BENCH_LP_PATTERN := ^BenchmarkMIP(Sparse|Dense)$$
+BENCH_FLEET_PATTERN := ^BenchmarkFleet(Sequential|Pooled|PooledShared)$$
 BENCH_WHATIF_PATTERN := ^Benchmark(WhatifCachedProbe|WhatifColdProbe|Applicable|SelectionClone)_
 # Allocation ceilings for the what-if hot path: the flat cached probe must
 # stay allocation-free, and an ID-selection clone is one bitset allocation.
@@ -19,7 +20,7 @@ BENCH_WHATIF_GUARDS := \
 	-max-allocs 'BenchmarkWhatifCachedProbe_Flat=0' \
 	-max-allocs 'BenchmarkSelectionClone_IDSet=1'
 
-.PHONY: build test race bench-core bench-lp bench-whatif bench-compare
+.PHONY: build test race bench-core bench-lp bench-whatif bench-fleet bench-compare
 
 build:
 	$(GO) build ./...
@@ -45,6 +46,15 @@ bench-whatif:
 		-count $(BENCH_COUNT) -timeout 30m ./internal/whatif \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson $(BENCH_WHATIF_GUARDS) \
 		> results/BENCH_whatif.json
+
+# Fleet-mode throughput: 64 tenants (8 structural clusters x 8), engine-
+# measured costs. Records sequential-unshared vs pooled vs pooled+shared
+# into results/BENCH_fleet.json; the shared arm must hold its >= 3x margin
+# over sequential (tracked by bench-compare against the committed baseline).
+bench-fleet:
+	$(GO) test -run '^$$' -bench '$(BENCH_FLEET_PATTERN)' -benchmem \
+		-count $(BENCH_COUNT) -timeout 60m . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > results/BENCH_fleet.json
 
 # Diff two benchjson documents (median over -count series); exits 1 when NEW
 # is slower than BENCH_TOLERANCE allows or allocates more. Example:

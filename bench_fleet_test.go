@@ -1,0 +1,116 @@
+package indexsel
+
+// Fleet-mode throughput benchmarks (satellite of the fleet PR): a 64-tenant
+// fleet of 8 structural clusters x 8 frequency-perturbed tenants, costs
+// served by engine-measured sources (the expensive, realistic regime — index
+// builds and query executions dominate, exactly what cross-tenant sharing
+// amortizes).
+//
+//   BenchmarkFleetSequential   one worker, no sharing: 64 standalone runs
+//   BenchmarkFleetPooled       pooled workers, no sharing
+//   BenchmarkFleetPooledShared pooled workers + per-cluster shared caches
+//
+// The acceptance bar is PooledShared >= 3x Sequential; `make bench-fleet`
+// records the three into results/BENCH_fleet.json.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+const (
+	fleetBenchClusters       = 8
+	fleetBenchTenantsPerClus = 8
+)
+
+// fleetBenchCluster is one structural cluster's immutable setup: the base
+// workload family plus the engine database the measured sources execute on.
+// The DB (column data) is safely shared; MeasuredSources are created per
+// fleet build because their index-build caches are part of the measured
+// work.
+type fleetBenchCluster struct {
+	members []*workload.Workload
+	db      *engine.DB
+	seed    int64
+}
+
+func fleetBenchSetup(b *testing.B) []fleetBenchCluster {
+	b.Helper()
+	clusters := make([]fleetBenchCluster, fleetBenchClusters)
+	for c := range clusters {
+		seed := int64(c + 1)
+		cfg := workload.DefaultGenConfig()
+		cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 12, 25
+		cfg.RowsBase = int64(3000 + 200*c)
+		cfg.Seed = seed
+		base, err := workload.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		members, err := workload.TenantFamily(base, fleetBenchTenantsPerClus, seed*1000, 0.7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := engine.New(base, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clusters[c] = fleetBenchCluster{members: members, db: db, seed: seed}
+	}
+	return clusters
+}
+
+// fleetBenchTenants assembles the 64-tenant fleet. With share=true the
+// cluster-mates name one MeasuredSource (whose index builds and the what-if
+// cache on top are then shared); otherwise every tenant gets a private
+// source, the standalone regime.
+func fleetBenchTenants(clusters []fleetBenchCluster, share bool) []FleetTenant {
+	var tenants []FleetTenant
+	for _, cl := range clusters {
+		var shared *MeasuredSource
+		if share {
+			shared = engine.NewMeasuredSource(cl.db, cl.seed)
+		}
+		for _, w := range cl.members {
+			src := shared
+			if !share {
+				src = engine.NewMeasuredSource(cl.db, cl.seed)
+			}
+			tenants = append(tenants, FleetTenant{Workload: w, Source: src})
+		}
+	}
+	return tenants
+}
+
+func runFleetBench(b *testing.B, workers int, share bool) {
+	clusters := fleetBenchSetup(b)
+	n := fleetBenchClusters * fleetBenchTenantsPerClus
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tenants := fleetBenchTenants(clusters, share)
+		b.StartTimer()
+		res, err := TuneFleet(context.Background(), tenants, FleetOptions{
+			Workers:        workers,
+			Parallelism:    1,
+			DisableSharing: !share,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed() != 0 {
+			b.Fatalf("%d tenants failed", res.Failed())
+		}
+		if share && res.HitRate() == 0 {
+			b.Fatal("shared run recorded no cache hits")
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "tenants/s")
+}
+
+func BenchmarkFleetSequential(b *testing.B)   { runFleetBench(b, 1, false) }
+func BenchmarkFleetPooled(b *testing.B)       { runFleetBench(b, 4, false) }
+func BenchmarkFleetPooledShared(b *testing.B) { runFleetBench(b, 4, true) }

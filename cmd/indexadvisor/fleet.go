@@ -1,0 +1,242 @@
+package main
+
+// -fleet mode: tune every tenant of a multi-tenant fleet in one run, with
+// cross-tenant what-if sharing for structurally clustered tenants and an
+// optional global table memory budget. The input is either a directory of
+// workload JSON files (every *.json is a tenant, manifest.json consulted if
+// present) or an explicit manifest path produced by
+// `workloadgen -tenants N -clusters K -out dir`.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	indexsel "repro"
+)
+
+// manifest mirrors cmd/workloadgen's fleet interchange format.
+type manifest struct {
+	Tenants []manifestTenant `json:"tenants"`
+}
+
+type manifestTenant struct {
+	ID       string  `json:"id"`
+	Workload string  `json:"workload"`
+	Cluster  int     `json:"cluster"`
+	Weight   float64 `json:"weight,omitempty"`
+	Deadline string  `json:"deadline,omitempty"`
+}
+
+// loadFleet resolves a -fleet argument (directory or manifest file) into
+// tenant specs with loaded workloads.
+func loadFleet(path string, budgetShare float64, budgetBytes int64) ([]indexsel.FleetTenant, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	manifestPath := path
+	if fi.IsDir() {
+		manifestPath = filepath.Join(path, "manifest.json")
+		if _, err := os.Stat(manifestPath); err != nil {
+			return loadFleetDir(path, budgetShare, budgetBytes)
+		}
+	}
+	f, err := os.Open(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m manifest
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("%s: %w", manifestPath, err)
+	}
+	if len(m.Tenants) == 0 {
+		return nil, fmt.Errorf("%s: manifest lists no tenants", manifestPath)
+	}
+	base := filepath.Dir(manifestPath)
+	tenants := make([]indexsel.FleetTenant, 0, len(m.Tenants))
+	for _, mt := range m.Tenants {
+		wp := mt.Workload
+		if !filepath.IsAbs(wp) {
+			wp = filepath.Join(base, wp)
+		}
+		w, err := readWorkloadFile(wp)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", mt.ID, err)
+		}
+		t := indexsel.FleetTenant{
+			ID:          mt.ID,
+			Workload:    w,
+			Weight:      mt.Weight,
+			BudgetShare: budgetShare,
+			BudgetBytes: budgetBytes,
+		}
+		if mt.Deadline != "" {
+			d, err := time.ParseDuration(mt.Deadline)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad deadline: %w", mt.ID, err)
+			}
+			t.Deadline = d
+		}
+		tenants = append(tenants, t)
+	}
+	return tenants, nil
+}
+
+// loadFleetDir treats every *.json in dir as one tenant, named after its
+// file, in sorted order.
+func loadFleetDir(dir string, budgetShare float64, budgetBytes int64) ([]indexsel.FleetTenant, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var tenants []indexsel.FleetTenant
+	for _, p := range paths {
+		w, err := readWorkloadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		tenants = append(tenants, indexsel.FleetTenant{
+			ID:          strings.TrimSuffix(filepath.Base(p), ".json"),
+			Workload:    w,
+			BudgetShare: budgetShare,
+			BudgetBytes: budgetBytes,
+		})
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("%s: no *.json workloads", dir)
+	}
+	return tenants, nil
+}
+
+func readWorkloadFile(path string) (*indexsel.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return indexsel.ReadWorkload(f)
+}
+
+// fleetReport prints the human-readable fleet summary: one row per tenant
+// plus the sharing and memory aggregates.
+func fleetReport(out io.Writer, res *indexsel.FleetResult) {
+	fmt.Fprintf(out, "%-12s %-7s %-8s %-12s %-12s %-8s %s\n",
+		"tenant", "cluster", "indexes", "cost", "improve", "time", "status")
+	for _, tr := range res.Tenants {
+		if tr.Err != nil {
+			fmt.Fprintf(out, "%-12s %-7d %-8s %-12s %-12s %-8s error: %v\n",
+				tr.ID, tr.Cluster, "-", "-", "-", tr.Elapsed.Round(time.Millisecond), tr.Err)
+			continue
+		}
+		rec := tr.Rec
+		status := "ok"
+		if rec.Partial {
+			status = fmt.Sprintf("partial (%v)", rec.StopReason)
+		}
+		fmt.Fprintf(out, "%-12s %-7d %-8d %-12.6g %-12s %-8s %s\n",
+			tr.ID, tr.Cluster, len(rec.Indexes), rec.Cost,
+			fmt.Sprintf("%.2f%%", 100*rec.Improvement()),
+			tr.Elapsed.Round(time.Millisecond), status)
+	}
+	fmt.Fprintf(out, "\nclusters:      %d over %d tenants (%d failed)\n",
+		res.Clusters, len(res.Tenants), res.Failed())
+	fmt.Fprintf(out, "shared cache:  %.1f%% hit rate (%d source calls, %d hits)\n",
+		100*res.HitRate(), res.SharedCalls, res.SharedHits)
+	fmt.Fprintf(out, "table memory:  %d bytes resident (peak %d), %d evictions\n",
+		res.ResidentBytes, res.MaxResidentBytes, res.Evictions)
+	fmt.Fprintf(out, "elapsed:       %v\n", res.Elapsed.Round(time.Millisecond))
+}
+
+// fleetJSON is the machine-readable -fleet -json report.
+type fleetJSON struct {
+	Tenants          []fleetTenantJSON `json:"tenants"`
+	Clusters         int               `json:"clusters"`
+	SharedCalls      int64             `json:"shared_calls"`
+	SharedHits       int64             `json:"shared_hits"`
+	HitRate          float64           `json:"hit_rate"`
+	ResidentBytes    int64             `json:"resident_bytes"`
+	MaxResidentBytes int64             `json:"max_resident_bytes"`
+	Evictions        int64             `json:"evictions"`
+	ElapsedSeconds   float64           `json:"elapsed_seconds"`
+}
+
+type fleetTenantJSON struct {
+	ID          string   `json:"id"`
+	Cluster     int      `json:"cluster"`
+	Error       string   `json:"error,omitempty"`
+	Cost        float64  `json:"cost,omitempty"`
+	BaseCost    float64  `json:"base_cost,omitempty"`
+	Improvement float64  `json:"improvement,omitempty"`
+	Indexes     []string `json:"indexes,omitempty"`
+	Partial     bool     `json:"partial,omitempty"`
+	StopReason  string   `json:"stop_reason,omitempty"`
+	Seq         int      `json:"seq"`
+	ElapsedSec  float64  `json:"elapsed_seconds"`
+}
+
+func writeFleetJSON(out io.Writer, res *indexsel.FleetResult) error {
+	rep := fleetJSON{
+		Clusters:         res.Clusters,
+		SharedCalls:      res.SharedCalls,
+		SharedHits:       res.SharedHits,
+		HitRate:          res.HitRate(),
+		ResidentBytes:    res.ResidentBytes,
+		MaxResidentBytes: res.MaxResidentBytes,
+		Evictions:        res.Evictions,
+		ElapsedSeconds:   res.Elapsed.Seconds(),
+	}
+	for _, tr := range res.Tenants {
+		tj := fleetTenantJSON{
+			ID:         tr.ID,
+			Cluster:    tr.Cluster,
+			Seq:        tr.Seq,
+			ElapsedSec: tr.Elapsed.Seconds(),
+		}
+		if tr.Err != nil {
+			tj.Error = tr.Err.Error()
+		} else {
+			rec := tr.Rec
+			tj.Cost = rec.Cost
+			tj.BaseCost = rec.BaseCost
+			tj.Improvement = rec.Improvement()
+			tj.Partial = rec.Partial
+			if rec.Partial {
+				tj.StopReason = rec.StopReason.String()
+			}
+			for _, ix := range rec.Indexes {
+				tj.Indexes = append(tj.Indexes, ix.Key())
+			}
+		}
+		rep.Tenants = append(rep.Tenants, tj)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// runFleet executes the -fleet path of main.
+func runFleet(ctx context.Context, fleetPath string, opts indexsel.FleetOptions,
+	budgetShare float64, budgetBytes int64, jsonOut bool) error {
+	tenants, err := loadFleet(fleetPath, budgetShare, budgetBytes)
+	if err != nil {
+		return err
+	}
+	res, err := indexsel.TuneFleet(ctx, tenants, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeFleetJSON(os.Stdout, res)
+	}
+	fleetReport(os.Stdout, res)
+	return nil
+}

@@ -13,6 +13,16 @@
 //	indexadvisor -workload w.json -approximate 0.1 -json
 //	indexadvisor -workload w.json -explain -trace-out run.jsonl -json
 //	indexadvisor explain -journal run.jsonl
+//	indexadvisor -fleet fleetdir -fleet-workers 4 -fleet-table-budget 1000000
+//
+// -fleet tunes a whole multi-tenant fleet in one run (see cmd/workloadgen
+// -tenants for generating one): tenants whose workloads are structural twins
+// (same schema and templates, different frequencies) transparently share
+// what-if cost caches and candidate enumeration — results stay bit-identical
+// to standalone runs — while -fleet-table-budget bounds the retained cache
+// bytes across all tenants with LRU eviction. -fleet-workers sizes the
+// scheduler pool, -fleet-tenant-timeout bounds each tenant (partial results,
+// not errors), and per-tenant weights/deadlines come from the manifest.
 //
 // -explain records decision provenance: the -json report (and the trace
 // journal) additionally carry, per step, the winning candidate's exact gain
@@ -83,34 +93,88 @@ func main() {
 		return
 	}
 	var (
-		path        = flag.String("workload", "", "workload JSON file (- for stdin); or use -sql")
-		sqlPath     = flag.String("sql", "", "schema + query log in SQL (- for stdin); alternative to -workload")
-		strategy    = flag.String("strategy", "extend", "extend | cophy | h1..h5")
-		budgetShare = flag.Float64("budget-share", 0.2, "budget as share of all single-attribute index memory")
-		budgetBytes = flag.Int64("budget-bytes", 0, "absolute budget in bytes (overrides -budget-share)")
-		numCands    = flag.Int("candidates", 0, "candidate-set size for cophy/h1..h5 (0 = all)")
-		gap         = flag.Float64("gap", 0.05, "cophy optimality gap")
-		timeLimit   = flag.Duration("timelimit", time.Minute, "cophy time limit")
-		timeout     = flag.Duration("timeout", 0, "overall selection deadline (any strategy); on expiry the best partial result found so far is reported and the exit code stays 0")
-		showSteps   = flag.Bool("steps", false, "print the Extend construction trace")
-		parallelism = flag.Int("parallelism", 0, "worker goroutines for extend evaluation and cophy branch-and-bound node solves (0 = all cores, 1 = serial; identical results)")
-		approximate = flag.Float64("approximate", 0, "extend only: relax the lazy step loop by this relative eps (each step's ratio within a (1+eps) factor of exact); 0 = provably exact")
-		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
-		memProfile  = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		jsonOut     = flag.Bool("json", false, "emit the full recommendation as JSON on stdout")
-		explainRun  = flag.Bool("explain", false, "record decision provenance and per-query attribution (reported in -json and the human report, journaled with -trace-out)")
-		eager       = flag.Bool("eager", false, "extend only: exhaustive per-step sweep instead of the lazy (CELF) loop; identical results, useful as a runcompare reference")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
-		linger      = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the report (for scrapers)")
-		traceOut    = flag.String("trace-out", "", "append every selection span as a JSON line to this file")
-		traceRotate = flag.Int64("trace-rotate-bytes", 0, "rotate -trace-out past this size (file -> file.1 -> file.2, whole lines only); 0 = never rotate")
-		logLevel    = flag.String("log-level", "", "enable structured logs on stderr: debug | info | warn | error")
+		path             = flag.String("workload", "", "workload JSON file (- for stdin); or use -sql")
+		sqlPath          = flag.String("sql", "", "schema + query log in SQL (- for stdin); alternative to -workload")
+		fleetPath        = flag.String("fleet", "", "fleet mode: directory of tenant workloads or a manifest.json (see cmd/workloadgen -tenants); alternative to -workload")
+		fleetWorkers     = flag.Int("fleet-workers", 1, "fleet mode: concurrent tenant selections")
+		fleetTableBudget = flag.Int64("fleet-table-budget", 0, "fleet mode: global bound on retained what-if table bytes across tenants (0 = unlimited)")
+		fleetTenantTO    = flag.Duration("fleet-tenant-timeout", 0, "fleet mode: default per-tenant deadline (each tenant returns its best partial result on expiry)")
+		fleetNoShare     = flag.Bool("fleet-no-share", false, "fleet mode: disable cross-tenant cache sharing (per-tenant caches even for structural twins)")
+		strategy         = flag.String("strategy", "extend", "extend | cophy | h1..h5")
+		budgetShare      = flag.Float64("budget-share", 0.2, "budget as share of all single-attribute index memory")
+		budgetBytes      = flag.Int64("budget-bytes", 0, "absolute budget in bytes (overrides -budget-share)")
+		numCands         = flag.Int("candidates", 0, "candidate-set size for cophy/h1..h5 (0 = all)")
+		gap              = flag.Float64("gap", 0.05, "cophy optimality gap")
+		timeLimit        = flag.Duration("timelimit", time.Minute, "cophy time limit")
+		timeout          = flag.Duration("timeout", 0, "overall selection deadline (any strategy); on expiry the best partial result found so far is reported and the exit code stays 0")
+		showSteps        = flag.Bool("steps", false, "print the Extend construction trace")
+		parallelism      = flag.Int("parallelism", 0, "worker goroutines for extend evaluation and cophy branch-and-bound node solves (0 = all cores, 1 = serial; identical results)")
+		approximate      = flag.Float64("approximate", 0, "extend only: relax the lazy step loop by this relative eps (each step's ratio within a (1+eps) factor of exact); 0 = provably exact")
+		cpuProfile       = flag.String("cpuprofile", "", "write a pprof CPU profile of the selection to this file")
+		memProfile       = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		jsonOut          = flag.Bool("json", false, "emit the full recommendation as JSON on stdout")
+		explainRun       = flag.Bool("explain", false, "record decision provenance and per-query attribution (reported in -json and the human report, journaled with -trace-out)")
+		eager            = flag.Bool("eager", false, "extend only: exhaustive per-step sweep instead of the lazy (CELF) loop; identical results, useful as a runcompare reference")
+		metricsAddr      = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+		linger           = flag.Duration("metrics-linger", 0, "keep serving -metrics-addr this long after the report (for scrapers)")
+		traceOut         = flag.String("trace-out", "", "append every selection span as a JSON line to this file")
+		traceRotate      = flag.Int64("trace-rotate-bytes", 0, "rotate -trace-out past this size (file -> file.1 -> file.2, whole lines only); 0 = never rotate")
+		logLevel         = flag.String("log-level", "", "enable structured logs on stderr: debug | info | warn | error")
 	)
 	flag.Parse()
-	if (*path == "") == (*sqlPath == "") {
-		fmt.Fprintln(os.Stderr, "indexadvisor: exactly one of -workload or -sql is required")
+	sources := 0
+	for _, s := range []string{*path, *sqlPath, *fleetPath} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "indexadvisor: exactly one of -workload, -sql or -fleet is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *fleetPath != "" {
+		strat, ok := strategies[strings.ToLower(*strategy)]
+		if !ok {
+			log.Fatalf("unknown strategy %q (want extend, cophy, h1..h5)", *strategy)
+		}
+		if *metricsAddr != "" {
+			_, bound, err := indexsel.ServeMetrics(*metricsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("serving metrics on http://%s/metrics", bound)
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		bytes := int64(0)
+		share := 0.0
+		if *budgetBytes > 0 {
+			bytes = *budgetBytes
+		} else {
+			share = *budgetShare
+		}
+		err := runFleet(ctx, *fleetPath, indexsel.FleetOptions{
+			Strategy:         strat,
+			Workers:          *fleetWorkers,
+			TenantDeadline:   *fleetTenantTO,
+			TableBudgetBytes: *fleetTableBudget,
+			Parallelism:      *parallelism,
+			DisableSharing:   *fleetNoShare,
+		}, share, bytes, *jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *metricsAddr != "" && *linger > 0 {
+			log.Printf("lingering %v for metric scrapes", *linger)
+			time.Sleep(*linger)
+		}
+		return
 	}
 
 	open := func(p string) *os.File {

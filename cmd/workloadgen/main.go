@@ -6,15 +6,42 @@
 //	workloadgen -kind synthetic -tables 10 -attrs 50 -queries 50 > w.json
 //	workloadgen -kind tpcc -warehouses 100 > tpcc.json
 //	workloadgen -kind erp -scale 0.2 > erp.json
+//
+// Fleet mode generates a multi-tenant fleet instead of a single workload:
+// -tenants N tenants spread over -clusters K structural clusters (tenants in
+// a cluster share schema and query templates, differing only by
+// log-normally -skew-perturbed frequencies), written as one JSON workload
+// per tenant plus a manifest.json that cmd/indexadvisor -fleet consumes:
+//
+//	workloadgen -tenants 16 -clusters 4 -skew 0.7 -out fleetdir
+//	indexadvisor -fleet fleetdir
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	indexsel "repro"
 )
+
+// manifest is the fleet interchange format shared with cmd/indexadvisor:
+// a list of tenants with workload paths (relative to the manifest) and
+// optional scheduling hints.
+type manifest struct {
+	Tenants []manifestTenant `json:"tenants"`
+}
+
+type manifestTenant struct {
+	ID       string  `json:"id"`
+	Workload string  `json:"workload"`
+	Cluster  int     `json:"cluster"`
+	Weight   float64 `json:"weight,omitempty"`
+	Deadline string  `json:"deadline,omitempty"`
+}
 
 func main() {
 	log.SetFlags(0)
@@ -28,46 +55,133 @@ func main() {
 		warehouses = flag.Int64("warehouses", 100, "tpcc: warehouse count")
 		scale      = flag.Float64("scale", 1.0, "erp: scale factor in (0,1]")
 		seed       = flag.Int64("seed", 1, "generator seed")
+		tenants    = flag.Int("tenants", 0, "fleet mode: total tenants to generate (requires -out)")
+		clusters   = flag.Int("clusters", 1, "fleet mode: structural clusters to spread tenants over")
+		skew       = flag.Float64("skew", 0.5, "fleet mode: log-normal frequency perturbation within a cluster (0 = identical frequencies)")
+		outDir     = flag.String("out", "", "fleet mode: directory for per-tenant workloads + manifest.json")
 	)
 	flag.Parse()
 
-	var (
-		w   *indexsel.Workload
-		err error
-	)
-	switch *kind {
-	case "synthetic":
-		cfg := indexsel.DefaultGenConfig()
-		cfg.Tables = *tables
-		cfg.AttrsPerTable = *attrs
-		cfg.QueriesPerTable = *queries
-		cfg.RowsBase = *rows
-		cfg.Seed = *seed
-		w, err = indexsel.GenerateWorkload(cfg)
-	case "tpcc":
-		w, err = indexsel.TPCCWorkload(*warehouses)
-	case "erp":
-		cfg := indexsel.DefaultERPConfig()
-		cfg.Seed = *seed
-		if *scale < 1 {
-			cfg.Tables = scaleInt(cfg.Tables, *scale, 10)
-			cfg.TotalAttrs = scaleInt(cfg.TotalAttrs, *scale, 100)
-			cfg.Queries = scaleInt(cfg.Queries, *scale, 50)
-			cfg.MaxRows = int64(float64(cfg.MaxRows) * *scale)
-			if cfg.MaxRows < cfg.MinRows {
-				cfg.MinRows = cfg.MaxRows / 4
-			}
+	if *tenants > 0 {
+		if *outDir == "" {
+			log.Fatal("-tenants requires -out DIR")
 		}
-		w, err = indexsel.GenerateERPWorkload(cfg)
-	default:
-		log.Fatalf("unknown kind %q (want synthetic, tpcc, erp)", *kind)
+		if err := generateFleet(*tenants, *clusters, *skew, *seed, *outDir, genBase(*kind, *tables, *attrs, *queries, *rows, *warehouses, *scale)); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
+
+	w, err := genBase(*kind, *tables, *attrs, *queries, *rows, *warehouses, *scale)(*seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := indexsel.WriteWorkload(os.Stdout, w); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// genBase binds the per-kind generator flags into a seed -> workload
+// function, so fleet mode can draw one structurally distinct base per
+// cluster by varying the seed.
+func genBase(kind string, tables, attrs, queries int, rows, warehouses int64, scale float64) func(seed int64) (*indexsel.Workload, error) {
+	switch kind {
+	case "synthetic":
+		return func(seed int64) (*indexsel.Workload, error) {
+			cfg := indexsel.DefaultGenConfig()
+			cfg.Tables = tables
+			cfg.AttrsPerTable = attrs
+			cfg.QueriesPerTable = queries
+			cfg.RowsBase = rows
+			cfg.Seed = seed
+			return indexsel.GenerateWorkload(cfg)
+		}
+	case "tpcc":
+		return func(int64) (*indexsel.Workload, error) {
+			return indexsel.TPCCWorkload(warehouses)
+		}
+	case "erp":
+		return func(seed int64) (*indexsel.Workload, error) {
+			cfg := indexsel.DefaultERPConfig()
+			cfg.Seed = seed
+			if scale < 1 {
+				cfg.Tables = scaleInt(cfg.Tables, scale, 10)
+				cfg.TotalAttrs = scaleInt(cfg.TotalAttrs, scale, 100)
+				cfg.Queries = scaleInt(cfg.Queries, scale, 50)
+				cfg.MaxRows = int64(float64(cfg.MaxRows) * scale)
+				if cfg.MaxRows < cfg.MinRows {
+					cfg.MinRows = cfg.MaxRows / 4
+				}
+			}
+			return indexsel.GenerateERPWorkload(cfg)
+		}
+	default:
+		log.Fatalf("unknown kind %q (want synthetic, tpcc, erp)", kind)
+		return nil
+	}
+}
+
+// generateFleet writes n tenants over k structural clusters into dir:
+// tenant c<cluster>-t<member>.json files plus manifest.json. Tenants are
+// split so cluster sizes differ by at most one; cluster c's base
+// uses seed+c (structurally distinct), and members within a cluster differ
+// only by skew-perturbed frequencies.
+func generateFleet(n, k int, skew float64, seed int64, dir string, gen func(int64) (*indexsel.Workload, error)) error {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var m manifest
+	for c := 0; c < k; c++ {
+		base, err := gen(seed + int64(c))
+		if err != nil {
+			return fmt.Errorf("cluster %d base: %w", c, err)
+		}
+		size := n / k
+		if c < n%k {
+			size++
+		}
+		members, err := indexsel.TenantFamily(base, size, seed+int64(c)*1000, skew)
+		if err != nil {
+			return fmt.Errorf("cluster %d family: %w", c, err)
+		}
+		for i, w := range members {
+			id := fmt.Sprintf("c%d-t%d", c, i)
+			name := id + ".json"
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if err := indexsel.WriteWorkload(f, w); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			m.Tenants = append(m.Tenants, manifestTenant{ID: id, Workload: name, Cluster: c})
+		}
+	}
+	mf, err := os.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		mf.Close()
+		return err
+	}
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %d tenants in %d clusters to %s", len(m.Tenants), k, dir)
+	return nil
 }
 
 func scaleInt(n int, scale float64, min int) int {

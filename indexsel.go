@@ -98,6 +98,22 @@ func ResampleQueries(w *Workload, cfg GenConfig, seed int64) (*Workload, error) 
 	return workload.ResampleQueries(w, cfg, seed)
 }
 
+// PerturbFrequencies returns a structural copy of w with every template
+// frequency log-normally perturbed (freq' = round(freq * exp(skew*N(0,1))),
+// clamped to >= 1). Structure — tables, attributes, templates — is
+// untouched, so the result clusters with w in fleet mode; skew 0 is an
+// exact copy.
+func PerturbFrequencies(w *Workload, seed int64, skew float64) (*Workload, error) {
+	return workload.PerturbFrequencies(w, seed, skew)
+}
+
+// TenantFamily builds n frequency-perturbed tenants from one base workload —
+// a structural cluster for fleet mode. Member i uses seed+i, so each is
+// reproducible in isolation.
+func TenantFamily(base *Workload, n int, seed int64, skew float64) ([]*Workload, error) {
+	return workload.TenantFamily(base, n, seed, skew)
+}
+
 // ReadWorkload parses the JSON interchange format.
 func ReadWorkload(r io.Reader) (*Workload, error) { return workload.Read(r) }
 

@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+var (
+	mEvictions = telemetry.Default().Counter("indexsel_fleet_table_evictions_total",
+		"Cost-table cache evictions performed by the fleet's global memory budget.")
+	mResident = telemetry.Default().Gauge("indexsel_fleet_table_resident_bytes",
+		"Retained (idle, unpinned) cost-table bytes currently resident under the fleet budget.")
+)
+
+// Evictable is the cache contract the budget manages: report retained bytes,
+// release them on demand. *whatif.Optimizer implements it; rebuilding after
+// eviction is the cache's own read-through behavior.
+type Evictable interface {
+	TableBytes() int64
+	EvictTables() int64
+}
+
+// TableBudget bounds the total retained cost-table bytes across a fleet's
+// cluster caches with an LRU tier: while a cache is pinned (some tenant is
+// running against it) it is working memory and exempt; when its last pin is
+// released the cache's bytes join the retained pool, and the least recently
+// used unpinned caches are evicted until the pool fits the budget again.
+// Evicted caches rebuild on demand (deterministic sources), so the budget
+// trades repeated what-if calls for bounded memory — peak RSS is bounded by
+// budget + the working set of the currently pinned caches, not by fleet
+// size.
+//
+// The zero value is unusable; construct with NewTableBudget. A limit <= 0
+// disables eviction but keeps the accounting (resident, high-water mark), so
+// an unbounded run can report the footprint a bounded run would have to
+// manage.
+type TableBudget struct {
+	mu      sync.Mutex
+	limit   int64
+	clock   int64
+	entries map[Evictable]*budgetEntry
+
+	resident    int64 // retained bytes across unpinned entries
+	maxResident int64
+	evictions   int64
+}
+
+type budgetEntry struct {
+	pins    int
+	bytes   int64 // retained bytes counted toward resident (unpinned only)
+	lastUse int64
+}
+
+// NewTableBudget builds a budget with the given retained-bytes limit
+// (<= 0 = unlimited, accounting only).
+func NewTableBudget(limit int64) *TableBudget {
+	return &TableBudget{limit: limit, entries: make(map[Evictable]*budgetEntry)}
+}
+
+// Limit returns the configured retained-bytes ceiling (<= 0 = unlimited).
+func (b *TableBudget) Limit() int64 { return b.limit }
+
+// Pin marks e as in use. Pinned caches never count as retained and are never
+// evicted; clusters shared by concurrent tenants pin once per running tenant.
+func (b *TableBudget) Pin(e Evictable) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ent := b.entries[e]
+	if ent == nil {
+		ent = &budgetEntry{}
+		b.entries[e] = ent
+	}
+	if ent.pins == 0 && ent.bytes > 0 {
+		// Leaving the retained pool: its bytes become working memory.
+		b.resident -= ent.bytes
+		ent.bytes = 0
+	}
+	ent.pins++
+	mResident.Set(float64(b.resident))
+}
+
+// Unpin releases one pin on e. When the last pin drops, e's current
+// TableBytes join the retained pool and LRU eviction runs until the pool is
+// within the limit. Unpin of an unpinned or unknown cache is a no-op.
+func (b *TableBudget) Unpin(e Evictable) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ent := b.entries[e]
+	if ent == nil || ent.pins == 0 {
+		return
+	}
+	ent.pins--
+	if ent.pins > 0 {
+		return
+	}
+	b.clock++
+	ent.lastUse = b.clock
+	ent.bytes = e.TableBytes()
+	b.resident += ent.bytes
+	b.evictLocked()
+	if b.resident > b.maxResident {
+		b.maxResident = b.resident
+	}
+	mResident.Set(float64(b.resident))
+}
+
+// evictLocked drops least-recently-used unpinned caches until resident fits
+// the limit. The just-unpinned cache is itself eligible: a single cache
+// larger than the whole budget is evicted immediately, keeping the retained
+// pool under the limit at all times.
+func (b *TableBudget) evictLocked() {
+	if b.limit <= 0 {
+		return
+	}
+	for b.resident > b.limit {
+		var victim Evictable
+		var ventry *budgetEntry
+		for e, ent := range b.entries {
+			if ent.pins > 0 || ent.bytes == 0 {
+				continue
+			}
+			if ventry == nil || ent.lastUse < ventry.lastUse {
+				victim, ventry = e, ent
+			}
+		}
+		if ventry == nil {
+			return // nothing evictable; all remaining bytes are pinned
+		}
+		victim.EvictTables()
+		b.resident -= ventry.bytes
+		ventry.bytes = 0
+		b.evictions++
+		mEvictions.Inc()
+	}
+}
+
+// Stats reports the budget's accounting: current retained bytes, the
+// high-water mark, and the number of evictions performed.
+func (b *TableBudget) Stats() (resident, maxResident, evictions int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.resident, b.maxResident, b.evictions
+}

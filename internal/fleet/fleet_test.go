@@ -1,0 +1,324 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestResultsInInputOrder(t *testing.T) {
+	tenants := []Tenant{{ID: "a"}, {ID: "b"}, {ID: "c"}, {ID: "d"}}
+	adv := NewAdvisor(Options{Workers: 2})
+	res := adv.Run(context.Background(), tenants, func(ctx context.Context, tn Tenant) (any, error) {
+		return "done:" + tn.ID, nil
+	})
+	if len(res) != 4 {
+		t.Fatalf("got %d results", len(res))
+	}
+	seen := make(map[int]bool)
+	for i, r := range res {
+		if r.Tenant.ID != tenants[i].ID {
+			t.Errorf("result %d for tenant %s, want %s", i, r.Tenant.ID, tenants[i].ID)
+		}
+		if r.Value != "done:"+tenants[i].ID || r.Err != nil {
+			t.Errorf("result %d: value %v err %v", i, r.Value, r.Err)
+		}
+		if r.Seq < 0 || r.Seq >= 4 || seen[r.Seq] {
+			t.Errorf("bad completion sequence %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}
+
+func TestWeightedFairDispatch(t *testing.T) {
+	// One worker: completion order == dispatch order. The huge tenant (large
+	// EstWork) must go last despite being first in input; raising a tenant's
+	// Weight moves it earlier; ties keep input order.
+	tenants := []Tenant{
+		{ID: "huge", EstWork: 1000},
+		{ID: "small-1", EstWork: 10},
+		{ID: "small-2", EstWork: 10},
+		{ID: "weighted", EstWork: 1000, Weight: 200}, // key 5: first
+	}
+	var mu sync.Mutex
+	var order []string
+	adv := NewAdvisor(Options{Workers: 1, OnStart: func(tn Tenant) {
+		mu.Lock()
+		order = append(order, tn.ID)
+		mu.Unlock()
+	}})
+	adv.Run(context.Background(), tenants, func(ctx context.Context, tn Tenant) (any, error) {
+		return nil, nil
+	})
+	want := []string{"weighted", "small-1", "small-2", "huge"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	tenants := []Tenant{{ID: "ok-1"}, {ID: "boom"}, {ID: "ok-2"}}
+	adv := NewAdvisor(Options{Workers: 2})
+	res := adv.Run(context.Background(), tenants, func(ctx context.Context, tn Tenant) (any, error) {
+		if tn.ID == "boom" {
+			panic("cost source exploded")
+		}
+		return tn.ID, nil
+	})
+	var pe *fault.WorkerPanicError
+	if !errors.As(res[1].Err, &pe) {
+		t.Fatalf("panicking tenant error = %v, want WorkerPanicError", res[1].Err)
+	}
+	if pe.Value != "cost source exploded" {
+		t.Errorf("panic payload %v", pe.Value)
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil || res[i].Value != tenants[i].ID {
+			t.Errorf("healthy tenant %s affected: %+v", tenants[i].ID, res[i])
+		}
+	}
+}
+
+func TestPerTenantDeadline(t *testing.T) {
+	// The slow tenant observes its private deadline; fast tenants never do.
+	tenants := []Tenant{
+		{ID: "fast-1"},
+		{ID: "slow", Deadline: 20 * time.Millisecond, EstWork: 5},
+		{ID: "fast-2"},
+	}
+	adv := NewAdvisor(Options{Workers: 1})
+	res := adv.Run(context.Background(), tenants, func(ctx context.Context, tn Tenant) (any, error) {
+		if tn.ID != "slow" {
+			if _, ok := ctx.Deadline(); ok {
+				return nil, errors.New("unexpected deadline")
+			}
+			return "full", nil
+		}
+		select {
+		case <-ctx.Done():
+			return "partial", nil // anytime contract: best-so-far, no error
+		case <-time.After(5 * time.Second):
+			return "full", nil
+		}
+	})
+	if res[1].Value != "partial" || res[1].Err != nil {
+		t.Fatalf("slow tenant: %+v, want partial value", res[1])
+	}
+	for _, i := range []int{0, 2} {
+		if res[i].Value != "full" || res[i].Err != nil {
+			t.Fatalf("fast tenant %d: %+v", i, res[i])
+		}
+	}
+}
+
+func TestDefaultTenantDeadline(t *testing.T) {
+	adv := NewAdvisor(Options{Workers: 1, TenantDeadline: 10 * time.Millisecond})
+	res := adv.Run(context.Background(), []Tenant{{ID: "t"}}, func(ctx context.Context, tn Tenant) (any, error) {
+		d, ok := ctx.Deadline()
+		if !ok {
+			return nil, errors.New("no deadline applied")
+		}
+		if until := time.Until(d); until > 10*time.Millisecond {
+			return nil, fmt.Errorf("deadline too far: %v", until)
+		}
+		return "ok", nil
+	})
+	if res[0].Err != nil {
+		t.Fatal(res[0].Err)
+	}
+}
+
+func TestFleetCancellationYieldsCompleteResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the fleet even starts
+	tenants := []Tenant{{ID: "a"}, {ID: "b"}}
+	adv := NewAdvisor(Options{Workers: 1})
+	res := adv.Run(ctx, tenants, func(ctx context.Context, tn Tenant) (any, error) {
+		if ctx.Err() != nil {
+			return "partial", nil
+		}
+		return "full", nil
+	})
+	for i, r := range res {
+		if r.Value != "partial" || r.Err != nil {
+			t.Fatalf("tenant %d under cancelled fleet: %+v", i, r)
+		}
+	}
+}
+
+// stubCache is a deterministic Evictable for budget tests.
+type stubCache struct {
+	mu    sync.Mutex
+	bytes int64
+}
+
+func (c *stubCache) TableBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+func (c *stubCache) EvictTables() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.bytes
+	c.bytes = 0
+	return b
+}
+
+func (c *stubCache) fill(n int64) {
+	c.mu.Lock()
+	c.bytes = n
+	c.mu.Unlock()
+}
+
+func TestTableBudgetLRUEviction(t *testing.T) {
+	b := NewTableBudget(100)
+	caches := []*stubCache{{}, {}, {}}
+	// Use caches 0, 1, 2 in order, each retaining 50 bytes when unpinned.
+	for _, c := range caches {
+		b.Pin(c)
+		c.fill(50)
+		b.Unpin(c)
+	}
+	// 150 retained > 100: the LRU entry (cache 0) must have been evicted.
+	resident, maxResident, evictions := b.Stats()
+	if resident != 100 {
+		t.Fatalf("resident %d, want 100", resident)
+	}
+	if maxResident > 100 {
+		t.Fatalf("high-water mark %d exceeds budget", maxResident)
+	}
+	if evictions != 1 {
+		t.Fatalf("evictions %d, want 1", evictions)
+	}
+	if caches[0].TableBytes() != 0 {
+		t.Fatal("LRU cache not evicted")
+	}
+	if caches[1].TableBytes() != 50 || caches[2].TableBytes() != 50 {
+		t.Fatal("wrong victim evicted")
+	}
+
+	// Re-touching cache 1 (pin/unpin) makes cache 2 the LRU; adding a new
+	// 40-byte cache must now evict cache 2, and only cache 2.
+	b.Pin(caches[1])
+	b.Unpin(caches[1])
+	fresh := &stubCache{}
+	b.Pin(fresh)
+	fresh.fill(40)
+	b.Unpin(fresh)
+	if caches[2].TableBytes() != 0 {
+		t.Fatal("recency update ignored: cache 2 should be the next victim")
+	}
+	if caches[1].TableBytes() != 50 {
+		t.Fatal("recently used cache evicted")
+	}
+}
+
+func TestTableBudgetPinnedExempt(t *testing.T) {
+	b := NewTableBudget(10)
+	pinned := &stubCache{}
+	b.Pin(pinned)
+	pinned.fill(1000) // way over budget, but pinned = working memory
+	other := &stubCache{}
+	b.Pin(other)
+	other.fill(5)
+	b.Unpin(other)
+	if pinned.TableBytes() != 1000 {
+		t.Fatal("pinned cache evicted")
+	}
+	resident, _, _ := b.Stats()
+	if resident != 5 {
+		t.Fatalf("resident %d, want 5 (pinned bytes exempt)", resident)
+	}
+	// Once unpinned, the oversized cache cannot fit and is evicted at once.
+	b.Unpin(pinned)
+	if pinned.TableBytes() != 0 {
+		t.Fatal("oversized cache survived unpinning")
+	}
+	resident, maxResident, _ := b.Stats()
+	if resident > 10 || maxResident > 10 {
+		t.Fatalf("resident %d / max %d exceed budget 10", resident, maxResident)
+	}
+}
+
+func TestTableBudgetSharedPins(t *testing.T) {
+	// Two tenants of one cluster pin the same cache; it only becomes
+	// evictable when the last one unpins.
+	b := NewTableBudget(1)
+	c := &stubCache{}
+	b.Pin(c)
+	b.Pin(c)
+	c.fill(100)
+	b.Unpin(c)
+	if c.TableBytes() != 100 {
+		t.Fatal("cache evicted while still pinned by second tenant")
+	}
+	b.Unpin(c)
+	if c.TableBytes() != 0 {
+		t.Fatal("cache not evicted after last unpin")
+	}
+	// Unpin of an unknown cache is a no-op, not a crash.
+	b.Unpin(&stubCache{})
+}
+
+func TestTableBudgetUnlimited(t *testing.T) {
+	b := NewTableBudget(0)
+	c := &stubCache{}
+	b.Pin(c)
+	c.fill(1 << 30)
+	b.Unpin(c)
+	if c.TableBytes() != 1<<30 {
+		t.Fatal("unlimited budget evicted")
+	}
+	resident, maxResident, evictions := b.Stats()
+	if resident != 1<<30 || maxResident != 1<<30 || evictions != 0 {
+		t.Fatalf("accounting under unlimited budget: %d/%d/%d", resident, maxResident, evictions)
+	}
+}
+
+func TestSchedulerConcurrentStress(t *testing.T) {
+	// Exercised under -race in CI: many tenants over several workers with a
+	// shared budget, including panics and deadlines.
+	b := NewTableBudget(64)
+	caches := make([]*stubCache, 8)
+	for i := range caches {
+		caches[i] = &stubCache{}
+	}
+	var tenants []Tenant
+	for i := 0; i < 40; i++ {
+		tenants = append(tenants, Tenant{ID: fmt.Sprintf("t%02d", i), EstWork: float64(1 + i%7)})
+	}
+	adv := NewAdvisor(Options{Workers: 4, TenantDeadline: time.Second})
+	res := adv.Run(context.Background(), tenants, func(ctx context.Context, tn Tenant) (any, error) {
+		c := caches[int(tn.EstWork)%len(caches)]
+		b.Pin(c)
+		defer b.Unpin(c)
+		c.fill(32)
+		if tn.ID == "t13" {
+			panic("chaos")
+		}
+		return tn.ID, nil
+	})
+	for i, r := range res {
+		if tenants[i].ID == "t13" {
+			var pe *fault.WorkerPanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("t13 err = %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != tenants[i].ID {
+			t.Fatalf("tenant %s: %+v", tenants[i].ID, r)
+		}
+	}
+	_, maxResident, _ := b.Stats()
+	if maxResident > 64 {
+		t.Fatalf("high-water mark %d exceeds budget", maxResident)
+	}
+}

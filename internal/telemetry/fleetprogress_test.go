@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFleetProgressLifecycle(t *testing.T) {
+	run := BeginFleetProgress(3, 2)
+	st, ok := FleetSnapshot()
+	if !ok || !st.Active || st.Tenants != 3 || st.Clusters != 2 || st.Queued != 3 {
+		t.Fatalf("begin state: %+v ok=%v", st, ok)
+	}
+	run.TenantStarted()
+	run.TenantStarted()
+	run.TenantDone(false)
+	if st, _ = FleetSnapshot(); st.Queued != 1 || st.Running != 1 || st.Completed != 1 {
+		t.Fatalf("mid state: %+v", st)
+	}
+	run.TenantStarted()
+	run.TenantDone(true)
+	run.TenantDone(false)
+	run.SetSharing(25, 75)
+	run.SetMemory(4096, 7)
+	run.Finish()
+	st, _ = FleetSnapshot()
+	if st.Active || !st.Done || st.Completed != 3 || st.Failed != 1 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("end state: %+v", st)
+	}
+	if st.SharedHitRate != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", st.SharedHitRate)
+	}
+	if st.ResidentBytes != 4096 || st.Evictions != 7 {
+		t.Fatalf("memory accounting: %+v", st)
+	}
+
+	// The per-run snapshot carries the fleet aggregate once one has begun.
+	if ps := ProgressSnapshot(); ps.Fleet == nil || ps.Fleet.Tenants != 3 {
+		t.Fatalf("ProgressSnapshot.Fleet = %+v", ps.Fleet)
+	}
+}
+
+func TestFleetProgressStaleHandleFenced(t *testing.T) {
+	stale := BeginFleetProgress(5, 1)
+	fresh := BeginFleetProgress(8, 4)
+	stale.TenantStarted()
+	stale.Finish()
+	st, _ := FleetSnapshot()
+	if st.Tenants != 8 || st.Running != 0 || st.Done {
+		t.Fatalf("stale handle mutated fresh fleet: %+v", st)
+	}
+	fresh.Finish()
+}
+
+// The SSE stream keeps running across per-tenant run completions and only
+// terminates once the fleet itself finishes, reporting fleet-level state.
+func TestFleetProgressStream(t *testing.T) {
+	fleet := BeginFleetProgress(2, 1)
+	go func() {
+		for i := 0; i < 2; i++ {
+			time.Sleep(60 * time.Millisecond)
+			fleet.TenantStarted()
+			run := BeginProgress("Extend(H6)", 4096, time.Time{})
+			run.Update(1, 100, 90, 64, 2, 0, 0)
+			run.Finish("converged", false)
+			fleet.TenantDone(false)
+		}
+		fleet.SetSharing(10, 30)
+		fleet.Finish()
+	}()
+
+	srv := httptest.NewServer(NewMux(NewRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/progress?stream=1&interval=50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var events, midFleet int
+	var last ProgressState
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		events++
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if last.Fleet == nil {
+			t.Fatalf("event without fleet state: %+v", last)
+		}
+		// Events after the first tenant's run finished but before the fleet
+		// did prove the stream survives per-run Done flips.
+		if last.Done && !last.Active && last.Fleet.Active {
+			midFleet++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events < 2 {
+		t.Fatalf("stream produced %d events", events)
+	}
+	if midFleet == 0 {
+		t.Fatal("stream never observed a finished tenant run inside an active fleet")
+	}
+	f := last.Fleet
+	if !f.Done || f.Active || f.Completed != 2 || f.Queued != 0 {
+		t.Fatalf("stream did not end on the finished fleet: %+v", f)
+	}
+	if f.SharedHitRate != 0.75 {
+		t.Fatalf("final hit rate %v, want 0.75", f.SharedHitRate)
+	}
+}

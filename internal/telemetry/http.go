@@ -71,7 +71,9 @@ func handleProgress(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 		fl.Flush()
-		if st.Done && !st.Active {
+		// A fleet interleaves many per-tenant runs, each flipping Done; keep
+		// streaming until the fleet itself (when one is live) has finished.
+		if st.Done && !st.Active && (st.Fleet == nil || (st.Fleet.Done && !st.Fleet.Active)) {
 			return
 		}
 		select {

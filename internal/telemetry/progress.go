@@ -38,6 +38,10 @@ type ProgressState struct {
 
 	StopReason string `json:"stop_reason,omitempty"`
 	Partial    bool   `json:"partial,omitempty"`
+
+	// Fleet is the fleet-level aggregate when a fleet run has started since
+	// process start (see FleetState); nil for standalone runs.
+	Fleet *FleetState `json:"fleet,omitempty"`
 }
 
 // progressTracker is the process-wide run-progress cell. A generation
@@ -120,6 +124,9 @@ func ProgressSnapshot() ProgressState {
 	progress.mu.Unlock()
 	if !st.Deadline.IsZero() {
 		st.DeadlineRemainingSeconds = time.Until(st.Deadline).Seconds()
+	}
+	if fst, ok := FleetSnapshot(); ok {
+		st.Fleet = &fst
 	}
 	return st
 }

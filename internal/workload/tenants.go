@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PerturbFrequencies returns a structural copy of w whose template
+// frequencies are redrawn multiplicatively: each b_j becomes
+// round(b_j * exp(skew * Z)) with Z ~ N(0,1), clamped to >= 1. Tables,
+// attributes and query attribute sets are untouched, so the result is
+// structurally identical to w (same fingerprint, exact what-if sharing in
+// fleet mode) while its frequency-weighted objective differs. skew = 0
+// returns an exact copy; larger skews model tenants whose traffic mixes have
+// drifted further apart. The draw is deterministic for a given seed.
+func PerturbFrequencies(w *Workload, seed int64, skew float64) (*Workload, error) {
+	if skew < 0 {
+		return nil, fmt.Errorf("workload: skew must be >= 0 (got %g)", skew)
+	}
+	r := rand.New(rand.NewSource(seed))
+	queries := make([]Query, len(w.Queries))
+	for i, q := range w.Queries {
+		q.Attrs = append([]int(nil), q.Attrs...)
+		f := math.Round(float64(q.Freq) * math.Exp(skew*r.NormFloat64()))
+		if f < 1 {
+			f = 1
+		}
+		q.Freq = int64(f)
+		queries[i] = q
+	}
+	tables := make([]Table, len(w.Tables))
+	copy(tables, w.Tables)
+	attrs := make([]Attribute, w.NumAttrs())
+	copy(attrs, w.Attrs())
+	return New(tables, attrs, queries)
+}
+
+// TenantFamily derives n tenants from one base workload by frequency
+// perturbation: member i uses seed+i, so families are reproducible and
+// individual members can be regenerated in isolation. All members share the
+// base's structure — a fleet clustering them (compress.Cluster) places the
+// whole family in one cluster and shares candidate enumeration and what-if
+// costs across it.
+func TenantFamily(base *Workload, n int, seed int64, skew float64) ([]*Workload, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: tenant family size must be >= 1 (got %d)", n)
+	}
+	out := make([]*Workload, n)
+	for i := range out {
+		w, err := PerturbFrequencies(base, seed+int64(i), skew)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package workload
+
+import "testing"
+
+func TestPerturbFrequenciesStructurePreserved(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 10, 20
+	cfg.RowsBase = 10_000
+	w := MustGenerate(cfg)
+
+	p, err := PerturbFrequencies(w, 42, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQueries() != w.NumQueries() || p.NumAttrs() != w.NumAttrs() || len(p.Tables) != len(w.Tables) {
+		t.Fatalf("perturbation changed shape: %d/%d queries, %d/%d attrs",
+			p.NumQueries(), w.NumQueries(), p.NumAttrs(), w.NumAttrs())
+	}
+	changed := 0
+	for i, q := range p.Queries {
+		orig := w.Queries[i]
+		if q.Table != orig.Table || q.Kind != orig.Kind || len(q.Attrs) != len(orig.Attrs) {
+			t.Fatalf("query %d structure changed", i)
+		}
+		for j, a := range q.Attrs {
+			if a != orig.Attrs[j] {
+				t.Fatalf("query %d attrs changed", i)
+			}
+		}
+		if q.Freq < 1 {
+			t.Fatalf("query %d perturbed to frequency %d", i, q.Freq)
+		}
+		if q.Freq != orig.Freq {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("skew 0.5 changed no frequencies")
+	}
+}
+
+func TestPerturbFrequenciesZeroSkewIsCopy(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 1, 8, 10
+	cfg.RowsBase = 1000
+	w := MustGenerate(cfg)
+	p, err := PerturbFrequencies(w, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range p.Queries {
+		if q.Freq != w.Queries[i].Freq {
+			t.Fatalf("skew 0 changed frequency of query %d: %d -> %d", i, w.Queries[i].Freq, q.Freq)
+		}
+	}
+	// The copy must be independent of the original: mutating the copy's
+	// frequency leaves the original untouched.
+	p.Queries[0].Freq += 100
+	if w.Queries[0].Freq == p.Queries[0].Freq {
+		t.Fatal("perturbed workload aliases the original")
+	}
+}
+
+func TestPerturbFrequenciesDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 1, 8, 15
+	cfg.RowsBase = 1000
+	w := MustGenerate(cfg)
+	a, err := PerturbFrequencies(w, 11, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerturbFrequencies(w, 11, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Freq != b.Queries[i].Freq {
+			t.Fatalf("same seed, different frequency at query %d", i)
+		}
+	}
+	c, err := PerturbFrequencies(w, 12, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i].Freq != c.Queries[i].Freq {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical perturbations")
+	}
+}
+
+func TestTenantFamily(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 1, 10, 12
+	cfg.RowsBase = 1000
+	base := MustGenerate(cfg)
+
+	if _, err := TenantFamily(base, 0, 1, 0.5); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := PerturbFrequencies(base, 1, -0.1); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+
+	fam, err := TenantFamily(base, 5, 100, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam) != 5 {
+		t.Fatalf("family size %d, want 5", len(fam))
+	}
+	// Members are reproducible in isolation: member i == PerturbFrequencies(seed+i).
+	solo, err := PerturbFrequencies(base, 103, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range solo.Queries {
+		if solo.Queries[i].Freq != fam[3].Queries[i].Freq {
+			t.Fatalf("family member 3 not reproducible in isolation (query %d)", i)
+		}
+	}
+}
