@@ -12,7 +12,7 @@ GO ?= go
 BENCH_COUNT ?= 3
 BENCH_PATTERN := ^BenchmarkSelect(Seed|Incremental|Parallel|ParallelIncremental|Lazy|ParallelLazy)$$
 BENCH_LP_PATTERN := ^BenchmarkMIP(Sparse|Dense)$$
-BENCH_FLEET_PATTERN := ^BenchmarkFleet(Sequential|Pooled|PooledShared)$$
+BENCH_FLEET_PATTERN := ^BenchmarkFleet(Sequential|Pooled|PooledShared|NearCloneTwin|NearCloneNearMatch|Unstreamed|Streamed|SpillRebuild|SpillRestore)$$
 BENCH_WHATIF_PATTERN := ^Benchmark(WhatifCachedProbe|WhatifColdProbe|Applicable|SelectionClone)_
 # Allocation ceilings for the what-if hot path: the flat cached probe must
 # stay allocation-free, and an ID-selection clone is one bitset allocation.
@@ -47,10 +47,18 @@ bench-whatif:
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson $(BENCH_WHATIF_GUARDS) \
 		> results/BENCH_whatif.json
 
-# Fleet-mode throughput: 64 tenants (8 structural clusters x 8), engine-
-# measured costs. Records sequential-unshared vs pooled vs pooled+shared
-# into results/BENCH_fleet.json; the shared arm must hold its >= 3x margin
-# over sequential (tracked by bench-compare against the committed baseline).
+# Fleet-mode throughput. Three arm groups, all recorded into
+# results/BENCH_fleet.json (tracked by bench-compare against the committed
+# baseline):
+#   Sequential/Pooled/PooledShared     64 tenants, exact clustering; the
+#                                      shared arm must hold >= 3x Sequential
+#   NearCloneTwin/NearCloneNearMatch   256 near-clone tenants; near-match
+#                                      must hold >= 2x the exact-twin arm
+#   Unstreamed/Streamed                256 analytic tenants; the streamed
+#                                      arm's workload-peak-b must stay
+#                                      <= 25% of the unstreamed fleet's
+#   SpillRebuild/SpillRestore          restoring spilled cost tables must be
+#                                      >= 5x faster than re-probing
 bench-fleet:
 	$(GO) test -run '^$$' -bench '$(BENCH_FLEET_PATTERN)' -benchmem \
 		-count $(BENCH_COUNT) -timeout 60m . \

@@ -34,9 +34,20 @@ type manifestTenant struct {
 	Deadline string  `json:"deadline,omitempty"`
 }
 
-// loadFleet resolves a -fleet argument (directory or manifest file) into
-// tenant specs with loaded workloads.
-func loadFleet(path string, budgetShare float64, budgetBytes int64) ([]indexsel.FleetTenant, error) {
+// fleetEntry is one resolved tenant before its workload is read: identity,
+// scheduling hints, and the workload file path. Both the eager (-fleet) and
+// streaming (-fleet-stream) paths start from this resolution, so the manifest
+// semantics cannot drift between them.
+type fleetEntry struct {
+	id       string
+	path     string
+	weight   float64
+	deadline time.Duration
+}
+
+// resolveFleet resolves a -fleet argument (directory or manifest file) into
+// tenant entries without reading any workload.
+func resolveFleet(path string) ([]fleetEntry, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, err
@@ -45,7 +56,7 @@ func loadFleet(path string, budgetShare float64, budgetBytes int64) ([]indexsel.
 	if fi.IsDir() {
 		manifestPath = filepath.Join(path, "manifest.json")
 		if _, err := os.Stat(manifestPath); err != nil {
-			return loadFleetDir(path, budgetShare, budgetBytes)
+			return resolveFleetDir(path)
 		}
 	}
 	f, err := os.Open(manifestPath)
@@ -61,60 +72,91 @@ func loadFleet(path string, budgetShare float64, budgetBytes int64) ([]indexsel.
 		return nil, fmt.Errorf("%s: manifest lists no tenants", manifestPath)
 	}
 	base := filepath.Dir(manifestPath)
-	tenants := make([]indexsel.FleetTenant, 0, len(m.Tenants))
+	entries := make([]fleetEntry, 0, len(m.Tenants))
 	for _, mt := range m.Tenants {
 		wp := mt.Workload
 		if !filepath.IsAbs(wp) {
 			wp = filepath.Join(base, wp)
 		}
-		w, err := readWorkloadFile(wp)
-		if err != nil {
-			return nil, fmt.Errorf("tenant %q: %w", mt.ID, err)
-		}
-		t := indexsel.FleetTenant{
-			ID:          mt.ID,
-			Workload:    w,
-			Weight:      mt.Weight,
-			BudgetShare: budgetShare,
-			BudgetBytes: budgetBytes,
-		}
+		e := fleetEntry{id: mt.ID, path: wp, weight: mt.Weight}
 		if mt.Deadline != "" {
 			d, err := time.ParseDuration(mt.Deadline)
 			if err != nil {
 				return nil, fmt.Errorf("tenant %q: bad deadline: %w", mt.ID, err)
 			}
-			t.Deadline = d
+			e.deadline = d
 		}
-		tenants = append(tenants, t)
+		entries = append(entries, e)
 	}
-	return tenants, nil
+	return entries, nil
 }
 
-// loadFleetDir treats every *.json in dir as one tenant, named after its
+// resolveFleetDir treats every *.json in dir as one tenant, named after its
 // file, in sorted order.
-func loadFleetDir(dir string, budgetShare float64, budgetBytes int64) ([]indexsel.FleetTenant, error) {
+func resolveFleetDir(dir string) ([]fleetEntry, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(paths)
-	var tenants []indexsel.FleetTenant
+	var entries []fleetEntry
 	for _, p := range paths {
-		w, err := readWorkloadFile(p)
+		entries = append(entries, fleetEntry{
+			id:   strings.TrimSuffix(filepath.Base(p), ".json"),
+			path: p,
+		})
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: no *.json workloads", dir)
+	}
+	return entries, nil
+}
+
+// loadFleet reads every resolved tenant's workload up front, for TuneFleet.
+func loadFleet(path string, budgetShare float64, budgetBytes int64) ([]indexsel.FleetTenant, error) {
+	entries, err := resolveFleet(path)
+	if err != nil {
+		return nil, err
+	}
+	tenants := make([]indexsel.FleetTenant, 0, len(entries))
+	for _, e := range entries {
+		w, err := readWorkloadFile(e.path)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p, err)
+			return nil, fmt.Errorf("tenant %q: %w", e.id, err)
 		}
 		tenants = append(tenants, indexsel.FleetTenant{
-			ID:          strings.TrimSuffix(filepath.Base(p), ".json"),
+			ID:          e.id,
 			Workload:    w,
+			Weight:      e.weight,
+			Deadline:    e.deadline,
 			BudgetShare: budgetShare,
 			BudgetBytes: budgetBytes,
 		})
 	}
-	if len(tenants) == 0 {
-		return nil, fmt.Errorf("%s: no *.json workloads", dir)
-	}
 	return tenants, nil
+}
+
+// loadFleetSpecs wraps the resolved tenants as lazy streaming specs: each
+// workload file is read when TuneFleetStream's clusterer or prefetcher asks
+// for it, never all at once.
+func loadFleetSpecs(path string, budgetShare float64, budgetBytes int64) ([]indexsel.FleetTenantSpec, error) {
+	entries, err := resolveFleet(path)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]indexsel.FleetTenantSpec, 0, len(entries))
+	for _, e := range entries {
+		wp := e.path
+		specs = append(specs, indexsel.FleetTenantSpec{
+			ID:          e.id,
+			Weight:      e.weight,
+			Deadline:    e.deadline,
+			BudgetShare: budgetShare,
+			BudgetBytes: budgetBytes,
+			Load:        func() (*indexsel.Workload, error) { return readWorkloadFile(wp) },
+		})
+	}
+	return specs, nil
 }
 
 func readWorkloadFile(path string) (*indexsel.Workload, error) {
@@ -153,6 +195,13 @@ func fleetReport(out io.Writer, res *indexsel.FleetResult) {
 		100*res.HitRate(), res.SharedCalls, res.SharedHits)
 	fmt.Fprintf(out, "table memory:  %d bytes resident (peak %d), %d evictions\n",
 		res.ResidentBytes, res.MaxResidentBytes, res.Evictions)
+	if res.Spills > 0 || res.Restores > 0 {
+		fmt.Fprintf(out, "table spill:   %d spills, %d restores\n", res.Spills, res.Restores)
+	}
+	if res.WorkloadPeakResident > 0 {
+		fmt.Fprintf(out, "streaming:     peak %d workloads resident (%d bytes)\n",
+			res.WorkloadPeakResident, res.WorkloadPeakBytes)
+	}
 	fmt.Fprintf(out, "elapsed:       %v\n", res.Elapsed.Round(time.Millisecond))
 }
 
@@ -166,6 +215,10 @@ type fleetJSON struct {
 	ResidentBytes    int64             `json:"resident_bytes"`
 	MaxResidentBytes int64             `json:"max_resident_bytes"`
 	Evictions        int64             `json:"evictions"`
+	Spills           int64             `json:"spills,omitempty"`
+	Restores         int64             `json:"restores,omitempty"`
+	WorkloadPeak     int               `json:"workload_peak_resident,omitempty"`
+	WorkloadPeakB    int64             `json:"workload_peak_bytes,omitempty"`
 	ElapsedSeconds   float64           `json:"elapsed_seconds"`
 }
 
@@ -192,6 +245,10 @@ func writeFleetJSON(out io.Writer, res *indexsel.FleetResult) error {
 		ResidentBytes:    res.ResidentBytes,
 		MaxResidentBytes: res.MaxResidentBytes,
 		Evictions:        res.Evictions,
+		Spills:           res.Spills,
+		Restores:         res.Restores,
+		WorkloadPeak:     res.WorkloadPeakResident,
+		WorkloadPeakB:    res.WorkloadPeakBytes,
 		ElapsedSeconds:   res.Elapsed.Seconds(),
 	}
 	for _, tr := range res.Tenants {
@@ -231,6 +288,26 @@ func runFleet(ctx context.Context, fleetPath string, opts indexsel.FleetOptions,
 		return err
 	}
 	res, err := indexsel.TuneFleet(ctx, tenants, opts)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return writeFleetJSON(os.Stdout, res)
+	}
+	fleetReport(os.Stdout, res)
+	return nil
+}
+
+// runFleetStream executes the -fleet -fleet-stream path of main: same
+// manifest, but tenant workloads are loaded lazily at dispatch and released
+// after each result.
+func runFleetStream(ctx context.Context, fleetPath string, opts indexsel.FleetStreamOptions,
+	budgetShare float64, budgetBytes int64, jsonOut bool) error {
+	specs, err := loadFleetSpecs(fleetPath, budgetShare, budgetBytes)
+	if err != nil {
+		return err
+	}
+	res, err := indexsel.TuneFleetStream(ctx, specs, opts)
 	if err != nil {
 		return err
 	}

@@ -100,6 +100,10 @@ func main() {
 		fleetTableBudget = flag.Int64("fleet-table-budget", 0, "fleet mode: global bound on retained what-if table bytes across tenants (0 = unlimited)")
 		fleetTenantTO    = flag.Duration("fleet-tenant-timeout", 0, "fleet mode: default per-tenant deadline (each tenant returns its best partial result on expiry)")
 		fleetNoShare     = flag.Bool("fleet-no-share", false, "fleet mode: disable cross-tenant cache sharing (per-tenant caches even for structural twins)")
+		fleetNearMatch   = flag.Bool("fleet-near-match", false, "fleet mode: widen cache sharing from exact structural twins to near-clones (same schema, overlapping template sets) via union-superset caches; results stay bit-identical to standalone")
+		fleetNearOverlap = flag.Float64("fleet-near-overlap", 0, "fleet mode: minimum Jaccard template-set overlap for -fleet-near-match clustering (0 = default 0.5)")
+		fleetStream      = flag.Bool("fleet-stream", false, "fleet mode: stream the manifest — load each tenant workload lazily at dispatch and release it after its result, keeping resident workloads at O(workers) instead of O(fleet)")
+		fleetSpillDir    = flag.String("fleet-spill-dir", "", "fleet mode: spill evicted what-if cost tables to compact binary files under this directory and restore them bit-identically on re-pin, instead of rebuilding")
 		strategy         = flag.String("strategy", "extend", "extend | cophy | h1..h5")
 		budgetShare      = flag.Float64("budget-share", 0.2, "budget as share of all single-attribute index memory")
 		budgetBytes      = flag.Int64("budget-bytes", 0, "absolute budget in bytes (overrides -budget-share)")
@@ -159,14 +163,24 @@ func main() {
 		} else {
 			share = *budgetShare
 		}
-		err := runFleet(ctx, *fleetPath, indexsel.FleetOptions{
+		fopts := indexsel.FleetOptions{
 			Strategy:         strat,
 			Workers:          *fleetWorkers,
 			TenantDeadline:   *fleetTenantTO,
 			TableBudgetBytes: *fleetTableBudget,
 			Parallelism:      *parallelism,
 			DisableSharing:   *fleetNoShare,
-		}, share, bytes, *jsonOut)
+			NearMatch:        *fleetNearMatch,
+			NearMatchOverlap: *fleetNearOverlap,
+			SpillDir:         *fleetSpillDir,
+		}
+		var err error
+		if *fleetStream {
+			err = runFleetStream(ctx, *fleetPath, indexsel.FleetStreamOptions{FleetOptions: fopts},
+				share, bytes, *jsonOut)
+		} else {
+			err = runFleet(ctx, *fleetPath, fopts, share, bytes, *jsonOut)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

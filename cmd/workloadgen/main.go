@@ -58,15 +58,19 @@ func main() {
 		tenants    = flag.Int("tenants", 0, "fleet mode: total tenants to generate (requires -out)")
 		clusters   = flag.Int("clusters", 1, "fleet mode: structural clusters to spread tenants over")
 		skew       = flag.Float64("skew", 0.5, "fleet mode: log-normal frequency perturbation within a cluster (0 = identical frequencies)")
+		perturb    = flag.Int("perturb", 0, "fleet mode: drop and add this many query templates per tenant, turning cluster members into near-clones (pair with indexadvisor -fleet-near-match)")
 		outDir     = flag.String("out", "", "fleet mode: directory for per-tenant workloads + manifest.json")
 	)
 	flag.Parse()
 
-	if *tenants > 0 {
+	if *tenants != 0 {
 		if *outDir == "" {
 			log.Fatal("-tenants requires -out DIR")
 		}
-		if err := generateFleet(*tenants, *clusters, *skew, *seed, *outDir, genBase(*kind, *tables, *attrs, *queries, *rows, *warehouses, *scale)); err != nil {
+		if err := validateFleetShape(*tenants, *clusters, *perturb); err != nil {
+			log.Fatal(err)
+		}
+		if err := generateFleet(*tenants, *clusters, *skew, *perturb, *seed, *outDir, genBase(*kind, *tables, *attrs, *queries, *rows, *warehouses, *scale)); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -121,17 +125,34 @@ func genBase(kind string, tables, attrs, queries int, rows, warehouses int64, sc
 	}
 }
 
+// validateFleetShape rejects impossible fleet-mode parameter combinations up
+// front with actionable errors, instead of silently clamping them.
+func validateFleetShape(n, k, perturb int) error {
+	if n <= 0 {
+		return fmt.Errorf("-tenants must be positive, got %d", n)
+	}
+	if k <= 0 {
+		return fmt.Errorf("-clusters must be positive, got %d", k)
+	}
+	if k > n {
+		return fmt.Errorf("-clusters (%d) cannot exceed -tenants (%d): every cluster needs at least one tenant", k, n)
+	}
+	if perturb < 0 {
+		return fmt.Errorf("-perturb must be >= 0, got %d", perturb)
+	}
+	return nil
+}
+
 // generateFleet writes n tenants over k structural clusters into dir:
 // tenant c<cluster>-t<member>.json files plus manifest.json. Tenants are
 // split so cluster sizes differ by at most one; cluster c's base
 // uses seed+c (structurally distinct), and members within a cluster differ
-// only by skew-perturbed frequencies.
-func generateFleet(n, k int, skew float64, seed int64, dir string, gen func(int64) (*indexsel.Workload, error)) error {
-	if k < 1 {
-		k = 1
-	}
-	if k > n {
-		k = n
+// by skew-perturbed frequencies plus, when perturb > 0, that many dropped and
+// added query templates (near-clones rather than structural twins). The
+// caller is expected to have validated (n, k, perturb) via validateFleetShape.
+func generateFleet(n, k int, skew float64, perturb int, seed int64, dir string, gen func(int64) (*indexsel.Workload, error)) error {
+	if err := validateFleetShape(n, k, perturb); err != nil {
+		return err
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -151,6 +172,12 @@ func generateFleet(n, k int, skew float64, seed int64, dir string, gen func(int6
 			return fmt.Errorf("cluster %d family: %w", c, err)
 		}
 		for i, w := range members {
+			if perturb > 0 {
+				w, err = indexsel.PerturbTemplates(w, seed+int64(c)*1000+int64(i), perturb, perturb)
+				if err != nil {
+					return fmt.Errorf("cluster %d member %d perturb: %w", c, i, err)
+				}
+			}
 			id := fmt.Sprintf("c%d-t%d", c, i)
 			name := id + ".json"
 			f, err := os.Create(filepath.Join(dir, name))

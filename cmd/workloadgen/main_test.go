@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	indexsel "repro"
+)
+
+func TestValidateFleetShape(t *testing.T) {
+	cases := []struct {
+		n, k, perturb int
+		wantErr       string
+	}{
+		{4, 2, 0, ""},
+		{1, 1, 3, ""},
+		{0, 1, 0, "-tenants must be positive"},
+		{-3, 1, 0, "-tenants must be positive"},
+		{4, 0, 0, "-clusters must be positive"},
+		{4, -1, 0, "-clusters must be positive"},
+		{2, 5, 0, "cannot exceed -tenants"},
+		{4, 2, -1, "-perturb must be >= 0"},
+	}
+	for _, c := range cases {
+		err := validateFleetShape(c.n, c.k, c.perturb)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateFleetShape(%d,%d,%d) = %v, want nil", c.n, c.k, c.perturb, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("validateFleetShape(%d,%d,%d) = %v, want error containing %q",
+				c.n, c.k, c.perturb, err, c.wantErr)
+		}
+	}
+}
+
+func testGen(seed int64) (*indexsel.Workload, error) {
+	cfg := indexsel.DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 5, 8
+	cfg.RowsBase = 1000
+	cfg.Seed = seed
+	return indexsel.GenerateWorkload(cfg)
+}
+
+func TestGenerateFleetRejectsInvalidShape(t *testing.T) {
+	dir := t.TempDir()
+	if err := generateFleet(2, 5, 0.5, 0, 1, dir, testGen); err == nil {
+		t.Fatal("clusters > tenants accepted")
+	}
+	if err := generateFleet(0, 1, 0.5, 0, 1, dir, testGen); err == nil {
+		t.Fatal("zero tenants accepted")
+	}
+	// Nothing may have been written on a rejected shape.
+	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
+		t.Fatalf("rejected run left files: %v", files)
+	}
+}
+
+func TestGenerateFleetWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := generateFleet(5, 2, 0.5, 0, 1, dir, testGen); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tenants) != 5 {
+		t.Fatalf("manifest lists %d tenants, want 5", len(m.Tenants))
+	}
+	seen := map[int]int{}
+	for _, mt := range m.Tenants {
+		seen[mt.Cluster]++
+		if _, err := os.Stat(filepath.Join(dir, mt.Workload)); err != nil {
+			t.Errorf("tenant %q workload missing: %v", mt.ID, err)
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("tenants spread over %d clusters, want 2", len(seen))
+	}
+}
+
+func TestGenerateFleetPerturbMakesNearClones(t *testing.T) {
+	dir := t.TempDir()
+	if err := generateFleet(3, 1, 0.5, 2, 1, dir, testGen); err != nil {
+		t.Fatal(err)
+	}
+	sigs := map[string]bool{}
+	for _, name := range []string{"c0-t0.json", "c0-t1.json", "c0-t2.json"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := indexsel.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, q := range w.Queries {
+			for _, a := range q.Attrs {
+				b.WriteString(string(rune(a)))
+			}
+			b.WriteByte('|')
+		}
+		sigs[b.String()] = true
+	}
+	if len(sigs) < 2 {
+		t.Fatal("-perturb produced structurally identical tenants")
+	}
+}

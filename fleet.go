@@ -3,6 +3,7 @@ package indexsel
 import (
 	"context"
 	"fmt"
+	"os"
 	"reflect"
 	"time"
 
@@ -87,6 +88,23 @@ type FleetOptions struct {
 	// DisableSharing forces per-tenant caches even for structural twins
 	// (the fleet benchmark's pooled-unshared arm; also a safety valve).
 	DisableSharing bool
+	// NearMatch widens sharing from exact structural twins to near-clones:
+	// tenants with an identical schema whose template sets overlap by at
+	// least NearMatchOverlap share one cache keyed on the union template
+	// superset, each tenant probing through a subset view
+	// (whatif.Optimizer.View). Exact for nil-Source tenants and for tenants
+	// sharing one *MeasuredSource; other custom sources keep exact-twin
+	// sharing only. See DESIGN.md §15.
+	NearMatch bool
+	// NearMatchOverlap is the minimum Jaccard template-set overlap for
+	// near-match clustering (0 = compress.DefaultNearMatchOverlap).
+	NearMatchOverlap float64
+	// SpillDir, when non-empty, turns budget evictions into spills: evicted
+	// cluster cost tables are serialized to compact binary files under this
+	// directory and restored — bit-identically — when the cluster is next
+	// pinned, instead of rebuilding from the what-if source. The directory
+	// is created if missing; files are process-local and consumed on restore.
+	SpillDir string
 }
 
 // FleetTenantResult is one tenant's outcome within a fleet run.
@@ -121,6 +139,14 @@ type FleetResult struct {
 	// accounting: retained bytes at completion, the post-eviction high-water
 	// mark, and how many cluster caches were evicted.
 	ResidentBytes, MaxResidentBytes, Evictions int64
+	// Spills/Restores count cost tables serialized to disk on eviction and
+	// restored from disk on re-pin (SpillDir mode only).
+	Spills, Restores int64
+	// WorkloadPeakResident/WorkloadPeakBytes report the streaming
+	// prefetcher's high-water marks: the most tenant workloads (and their
+	// estimated bytes) resident at once. Zero outside TuneFleetStream.
+	WorkloadPeakResident int
+	WorkloadPeakBytes    int64
 	// Elapsed is the whole fleet's wall-clock time.
 	Elapsed time.Duration
 }
@@ -179,6 +205,12 @@ func TuneFleet(ctx context.Context, tenants []FleetTenant, opts FleetOptions) (*
 	}
 
 	budget := fleet.NewTableBudget(opts.TableBudgetBytes)
+	if opts.SpillDir != "" {
+		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("indexsel: creating fleet spill dir: %w", err)
+		}
+		budget.SpillTo(opts.SpillDir)
+	}
 	prog := telemetry.BeginFleetProgress(len(tenants), nclusters)
 	publish := func() {
 		var calls, hits int64
@@ -190,6 +222,8 @@ func TuneFleet(ctx context.Context, tenants []FleetTenant, opts FleetOptions) (*
 		prog.SetSharing(calls, hits)
 		resident, _, evictions := budget.Stats()
 		prog.SetMemory(resident, evictions)
+		spills, restores, _ := budget.SpillStats()
+		prog.SetSpill(spills, restores)
 	}
 
 	sched := fleet.NewAdvisor(fleet.Options{
@@ -247,10 +281,111 @@ func TuneFleet(ctx context.Context, tenants []FleetTenant, opts FleetOptions) (*
 		out.SharedHits += s.CacheHits
 	}
 	out.ResidentBytes, out.MaxResidentBytes, out.Evictions = budget.Stats()
+	out.Spills, out.Restores, _ = budget.SpillStats()
 	out.Elapsed = time.Since(start)
 	publish()
 	prog.Finish()
 	return out, nil
+}
+
+// fleetGroup is one set of tenants sharing a single what-if cache. In exact
+// mode superset/qmaps are nil and every member probes the cache directly; in
+// near-match mode superset is the cluster's union-template workload and
+// qmaps[i] maps member i's local query IDs into it (each member then probes
+// through a whatif View).
+type fleetGroup struct {
+	members  []int
+	superset *workload.Workload
+	qmaps    [][]int32
+}
+
+// groupBySource splits cluster member positions into subgroups that serve
+// costs the same way: all from the analytic model (nil Source), or from the
+// very same Source value. Sources whose dynamic type is not comparable cannot
+// be identity-checked and stay unshared.
+func groupBySource(tenants []FleetTenant, members []int) [][]int {
+	type srcGroup struct {
+		src     WhatIfSource
+		members []int
+	}
+	var sg []srcGroup
+	for _, pos := range members {
+		src := tenants[pos].Source
+		if src != nil && !reflect.TypeOf(src).Comparable() {
+			sg = append(sg, srcGroup{src: src, members: []int{pos}})
+			continue
+		}
+		found := false
+		for gi := range sg {
+			if sg[gi].src == nil && src == nil ||
+				sg[gi].src != nil && src != nil &&
+					reflect.TypeOf(sg[gi].src).Comparable() && sg[gi].src == src {
+				sg[gi].members = append(sg[gi].members, pos)
+				found = true
+				break
+			}
+		}
+		if !found {
+			sg = append(sg, srcGroup{src: src, members: []int{pos}})
+		}
+	}
+	out := make([][]int, len(sg))
+	for i, g := range sg {
+		out[i] = g.members
+	}
+	return out
+}
+
+// nearMatchGroups clusters tenants across near-clones (compress.ClusterNear):
+// tenants with identical schemas whose template sets overlap by >= overlap
+// share one cache keyed on the union template superset, each member probing
+// through a subset view. Sharing across differing template sets is only sound
+// for sources this layer can rebind to the superset template space — the
+// analytic model (rebuilt over the superset) and *MeasuredSource (rebound via
+// ForWorkload). Subgroups with any other source fall back to exact-twin
+// clustering among themselves.
+func nearMatchGroups(tenants []FleetTenant, ws []*workload.Workload, overlap float64) ([]fleetGroup, error) {
+	if overlap == 0 {
+		overlap = compress.DefaultNearMatchOverlap
+	}
+	var groups []fleetGroup
+	for _, nc := range compress.ClusterNear(ws, overlap) {
+		qmapOf := make(map[int][]int32, len(nc.Members))
+		var positions []int
+		for _, m := range nc.Members {
+			qmapOf[m.Pos] = m.QueryMap
+			positions = append(positions, m.Pos)
+		}
+		for _, members := range groupBySource(tenants, positions) {
+			switch tenants[members[0]].Source.(type) {
+			case nil, *MeasuredSource:
+				superset, err := nc.SupersetWorkload()
+				if err != nil {
+					return nil, fmt.Errorf("indexsel: building near-match superset: %w", err)
+				}
+				g := fleetGroup{members: members, superset: superset}
+				for _, pos := range members {
+					g.qmaps = append(g.qmaps, qmapOf[pos])
+				}
+				groups = append(groups, g)
+			default:
+				// Custom sources cannot be rebound to the superset: keep
+				// PR 8 semantics (share only across exact structural twins).
+				sub := make([]*workload.Workload, len(members))
+				for i, pos := range members {
+					sub[i] = tenants[pos].Workload
+				}
+				for _, sc := range compress.Cluster(sub) {
+					g := fleetGroup{}
+					for _, si := range sc.Members {
+						g.members = append(g.members, members[si])
+					}
+					groups = append(groups, g)
+				}
+			}
+		}
+	}
+	return groups, nil
 }
 
 // prepareFleet clusters the tenants and builds one prepared advisor per
@@ -267,61 +402,53 @@ func prepareFleet(tenants []FleetTenant, strategy Strategy, opts FleetOptions) (
 	for i := range tenants {
 		ws[i] = tenants[i].Workload
 	}
-	var groups [][]int // each group shares one cache
-	if share {
+	var groups []fleetGroup
+	switch {
+	case share && opts.NearMatch:
+		var err error
+		groups, err = nearMatchGroups(tenants, ws, opts.NearMatchOverlap)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+	case share:
 		for _, c := range compress.Cluster(ws) {
-			// Within a structural cluster, tenants share only if they serve
-			// costs the same way: all from the analytic model (nil Source),
-			// or from the very same Source value. Sources whose dynamic type
-			// is not comparable cannot be identity-checked and stay unshared.
-			type srcGroup struct {
-				src     WhatIfSource
-				members []int
-			}
-			var sg []srcGroup
-			for _, pos := range c.Members {
-				src := tenants[pos].Source
-				if src != nil && !reflect.TypeOf(src).Comparable() {
-					sg = append(sg, srcGroup{src: src, members: []int{pos}})
-					continue
-				}
-				found := false
-				for gi := range sg {
-					if sg[gi].src == nil && src == nil ||
-						sg[gi].src != nil && src != nil &&
-							reflect.TypeOf(sg[gi].src).Comparable() && sg[gi].src == src {
-						sg[gi].members = append(sg[gi].members, pos)
-						found = true
-						break
-					}
-				}
-				if !found {
-					sg = append(sg, srcGroup{src: src, members: []int{pos}})
-				}
-			}
-			for _, g := range sg {
-				groups = append(groups, g.members)
+			for _, members := range groupBySource(tenants, c.Members) {
+				groups = append(groups, fleetGroup{members: members})
 			}
 		}
-	} else {
+	default:
 		for i := range tenants {
-			groups = append(groups, []int{i})
+			groups = append(groups, fleetGroup{members: []int{i}})
 		}
 	}
 
 	sharedOpts := make([]*whatif.Optimizer, 0, len(groups))
-	for ci, members := range groups {
-		rep := tenants[members[0]]
+	for ci, g := range groups {
+		rep := tenants[g.members[0]]
+		// The cache's template space: the union superset under near-match,
+		// the representative's own workload otherwise (all members are then
+		// structural twins of it).
+		cacheW := rep.Workload
+		if g.superset != nil {
+			cacheW = g.superset
+		}
 		var opt *whatif.Optimizer
 		var repMeasured *MeasuredSource
 		switch src := rep.Source.(type) {
 		case nil:
-			// One analytic model over the representative's structure serves
-			// the whole cluster: per-execution costs are structural.
-			opt = whatif.New(costmodel.New(rep.Workload, mode))
+			// One analytic model over the cache's template space serves the
+			// whole cluster: per-execution costs are structural.
+			opt = whatif.New(costmodel.New(cacheW, mode))
 		case *MeasuredSource:
 			repMeasured = src
-			opt = whatif.New(src)
+			if g.superset != nil {
+				// Rebind the shared engine source to the superset template
+				// space so its point queries line up with superset IDs; the
+				// built-index cache stays shared with the original.
+				opt = whatif.New(src.ForWorkload(g.superset))
+			} else {
+				opt = whatif.New(src)
+			}
 		default:
 			opt = whatif.New(src)
 		}
@@ -329,9 +456,12 @@ func prepareFleet(tenants []FleetTenant, strategy Strategy, opts FleetOptions) (
 
 		// Candidate strategies share the cluster's subset enumeration; the
 		// frequency-weighted representative ordering stays per-tenant, so
-		// each tenant's candidate set is bit-identical to standalone.
+		// each tenant's candidate set is bit-identical to standalone. Under
+		// near-match the members' template sets differ, so enumeration stays
+		// per-tenant (the advisor's default path) — likewise bit-identical
+		// to standalone, just not shared.
 		var combos []candidates.Combo
-		if strategy != StrategyExtend {
+		if strategy != StrategyExtend && g.superset == nil {
 			var err error
 			combos, err = candidates.Combos(rep.Workload, 4)
 			if err != nil {
@@ -339,7 +469,7 @@ func prepareFleet(tenants []FleetTenant, strategy Strategy, opts FleetOptions) (
 			}
 		}
 
-		for _, pos := range members {
+		for mi, pos := range g.members {
 			t := tenants[pos]
 			var advOpts []Option
 			advOpts = append(advOpts, WithCostMode(mode))
@@ -364,8 +494,19 @@ func prepareFleet(tenants []FleetTenant, strategy Strategy, opts FleetOptions) (
 			// identical either way). For a cluster of one this is exactly the
 			// standalone construction: an optimizer over the tenant's own
 			// source/model. For generic custom sources the analytic model
-			// built by NewAdvisor still provides the budget rule.
-			ad.opt = opt
+			// built by NewAdvisor still provides the budget rule. Under
+			// near-match the tenant gets a subset view over the shared cache:
+			// every probe is canonicalized to the superset template first.
+			if g.superset != nil {
+				qmap := g.qmaps[mi]
+				canon := make([]workload.Query, len(qmap))
+				for j, sid := range qmap {
+					canon[j] = g.superset.Queries[sid]
+				}
+				ad.opt = opt.View(canon)
+			} else {
+				ad.opt = opt
+			}
 			states[pos] = &tenantState{ad: ad, opt: opt, cluster: ci}
 		}
 	}

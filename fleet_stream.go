@@ -1,0 +1,286 @@
+package indexsel
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/costmodel"
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// Streaming fleet mode: TuneFleet holds every tenant workload in memory for
+// the whole run, which caps fleet size at O(fleet) resident bytes. For large
+// manifests TuneFleetStream keeps resident workloads at O(workers) instead:
+// tenants are described by lazy FleetTenantSpec loaders, and the run makes
+// two passes over the manifest.
+//
+// Pass 1 (cluster): each workload is loaded once, fed to the online
+// near-match clusterer (compress.NearMatcher, which retains only per-cluster
+// skeletons — schema copies, union templates, signature indexes), its query
+// count recorded as the scheduling estimate, and released. With NearMatch
+// off the clusterer runs at threshold 1.0, which degenerates to exact
+// template-set sharing; either way every member probes the shared cache
+// through a subset view, so results stay bit-identical to standalone.
+//
+// Pass 2 (run): the scheduler's dispatch order is computed up front
+// (fleet.DispatchOrder) and a windowed prefetcher loads workloads in exactly
+// that order — load-on-dispatch, release-after-result — so at most
+// max(PrefetchWindow, Workers) workloads are resident at any instant. The
+// prefetcher publishes indexsel_fleet_workloads_resident and
+// indexsel_fleet_workload_resident_bytes gauges, and the run's peaks land in
+// FleetResult.WorkloadPeakResident/WorkloadPeakBytes.
+//
+// Streaming tenants are analytic-only (no per-tenant Source): an engine
+// source holds the database in memory, which defeats the point of
+// streaming the workloads around it.
+
+// FleetTenantSpec describes one streaming-fleet tenant without holding its
+// workload: Load materializes it on demand. Load is called up to twice (once
+// for clustering, once at dispatch) and MUST be deterministic — both calls
+// must produce the same workload, or the clustering's query mapping is
+// invalid and the tenant's run errors.
+type FleetTenantSpec struct {
+	// ID names the tenant in results; empty IDs are assigned tenant-NNN.
+	ID string
+	// Weight scales fleet scheduling fairness; <= 0 means 1.
+	Weight float64
+	// Deadline bounds this tenant's selection (0 = FleetOptions.TenantDeadline).
+	Deadline time.Duration
+	// BudgetBytes/BudgetShare set the tenant's index memory budget, as in
+	// FleetTenant.
+	BudgetBytes int64
+	BudgetShare float64
+	// Load materializes the tenant's workload. It must be deterministic and
+	// safe to call from the prefetcher's loader goroutine.
+	Load func() (*workload.Workload, error)
+}
+
+// FleetStreamOptions configures TuneFleetStream.
+type FleetStreamOptions struct {
+	FleetOptions
+	// PrefetchWindow bounds how many tenant workloads the streaming
+	// prefetcher keeps resident; it is clamped up to Workers (the no-deadlock
+	// floor) and defaults to Workers when 0. Larger windows hide slower
+	// loaders at the price of proportionally more resident bytes.
+	PrefetchWindow int
+}
+
+// streamTenant is the per-tenant state pass 1 produces for pass 2.
+type streamTenant struct {
+	cluster int
+	qmap    []int32
+}
+
+// TuneFleetStream runs one selection per tenant like TuneFleet, but over a
+// lazily loaded manifest with O(workers) resident workloads instead of
+// O(fleet). See the package comment above for the two-pass protocol. Pass-1
+// load failures are input errors and fail the fleet; pass-2 load failures are
+// isolated to their tenant like any other tenant fault.
+func TuneFleetStream(ctx context.Context, specs []FleetTenantSpec, opts FleetStreamOptions) (*FleetResult, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("indexsel: fleet has no tenants")
+	}
+	for i := range specs {
+		if specs[i].Load == nil {
+			return nil, fmt.Errorf("indexsel: fleet tenant %d (%q) has no Load", i, specs[i].ID)
+		}
+	}
+	strategy := opts.Strategy
+	if strategy == 0 {
+		strategy = StrategyExtend
+	}
+	start := time.Now()
+
+	// Sharing threshold: near-match overlap when requested, exact template-set
+	// identity (Jaccard 1.0) otherwise. Sharing disabled — explicitly, or by
+	// MultiIndexCosts' mid-run invalidation — means a threshold no overlap can
+	// reach, so every tenant forms its own singleton cluster and its view's
+	// cache is private.
+	mode := opts.CostMode
+	share := !opts.DisableSharing && mode != MultiIndexCosts
+	threshold := 2.0
+	if share {
+		threshold = 1.0
+		if opts.NearMatch {
+			threshold = opts.NearMatchOverlap
+			if threshold == 0 {
+				threshold = compress.DefaultNearMatchOverlap
+			}
+		}
+	}
+
+	// Pass 1: load each workload once, cluster it, release it.
+	matcher := compress.NewNearMatcher(threshold)
+	est := make([]float64, len(specs))
+	for i := range specs {
+		w, err := specs[i].Load()
+		if err != nil {
+			return nil, fmt.Errorf("indexsel: fleet tenant %d (%q) load: %w", i, specs[i].ID, err)
+		}
+		if w == nil {
+			return nil, fmt.Errorf("indexsel: fleet tenant %d (%q) loaded a nil workload", i, specs[i].ID)
+		}
+		matcher.Add(i, w)
+		est[i] = float64(w.NumQueries())
+	}
+	clusters := matcher.Clusters()
+
+	// Between passes: one superset workload + shared analytic optimizer per
+	// cluster, and each tenant's (cluster, query-map) coordinates.
+	supersets := make([]*workload.Workload, len(clusters))
+	baseOpts := make([]*whatif.Optimizer, len(clusters))
+	tenants := make([]streamTenant, len(specs))
+	for ci, c := range clusters {
+		sup, err := c.SupersetWorkload()
+		if err != nil {
+			return nil, fmt.Errorf("indexsel: building streaming-fleet superset: %w", err)
+		}
+		supersets[ci] = sup
+		baseOpts[ci] = whatif.New(costmodel.New(sup, mode))
+		for _, m := range c.Members {
+			tenants[m.Pos] = streamTenant{cluster: ci, qmap: m.QueryMap}
+		}
+	}
+
+	budget := fleet.NewTableBudget(opts.TableBudgetBytes)
+	if opts.SpillDir != "" {
+		if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("indexsel: creating fleet spill dir: %w", err)
+		}
+		budget.SpillTo(opts.SpillDir)
+	}
+
+	// Pass 2: schedule. The prefetcher loads workloads in dispatch order, so
+	// slot k of the prefetcher is the k-th tenant the pool will start.
+	ftenants := make([]fleet.Tenant, len(specs))
+	for i := range specs {
+		id := specs[i].ID
+		if id == "" {
+			id = fmt.Sprintf("tenant-%03d", i)
+		}
+		ftenants[i] = fleet.Tenant{
+			ID:       id,
+			Weight:   specs[i].Weight,
+			EstWork:  est[i],
+			Deadline: specs[i].Deadline,
+			Payload:  i,
+		}
+	}
+	order := fleet.DispatchOrder(ftenants)
+	rank := make([]int, len(order)) // input position -> dispatch rank
+	for k, pos := range order {
+		rank[pos] = k
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	window := opts.PrefetchWindow
+	if window < workers {
+		window = workers
+	}
+	pf := fleet.NewPrefetcher(len(specs), window,
+		func(k int) (any, error) { return specs[order[k]].Load() },
+		func(item any) int64 { return item.(*workload.Workload).FootprintBytes() })
+	defer pf.Close()
+
+	prog := telemetry.BeginFleetProgress(len(specs), len(clusters))
+	publish := func() {
+		var calls, hits int64
+		for _, opt := range baseOpts {
+			s := opt.Stats()
+			calls += s.Calls
+			hits += s.CacheHits
+		}
+		prog.SetSharing(calls, hits)
+		resident, _, evictions := budget.Stats()
+		prog.SetMemory(resident, evictions)
+		spills, restores, _ := budget.SpillStats()
+		prog.SetSpill(spills, restores)
+		prog.SetWorkloads(pf.Resident())
+	}
+
+	sched := fleet.NewAdvisor(fleet.Options{
+		Workers:        opts.Workers,
+		TenantDeadline: opts.TenantDeadline,
+		OnStart:        func(fleet.Tenant) { prog.TenantStarted() },
+		OnDone: func(r fleet.Result) {
+			prog.TenantDone(r.Err != nil)
+			publish()
+		},
+	})
+
+	results := sched.Run(ctx, ftenants, func(ctx context.Context, t fleet.Tenant) (any, error) {
+		pos := t.Payload.(int)
+		st := tenants[pos]
+		item, err := pf.Acquire(rank[pos])
+		if err != nil {
+			return nil, fmt.Errorf("indexsel: streaming fleet load: %w", err)
+		}
+		defer pf.Release(rank[pos])
+		w := item.(*workload.Workload)
+		if len(w.Queries) != len(st.qmap) {
+			return nil, fmt.Errorf("indexsel: tenant %q Load is not deterministic: %d queries at dispatch, %d at clustering",
+				t.ID, len(w.Queries), len(st.qmap))
+		}
+
+		var advOpts []Option
+		advOpts = append(advOpts, WithCostMode(mode))
+		if b := specs[pos].BudgetBytes; b > 0 {
+			advOpts = append(advOpts, WithBudgetBytes(b))
+		}
+		if s := specs[pos].BudgetShare; s > 0 {
+			advOpts = append(advOpts, WithBudgetShare(s))
+		}
+		if opts.Parallelism != 0 {
+			advOpts = append(advOpts, WithParallelism(opts.Parallelism))
+		}
+		ad := NewAdvisor(w, advOpts...)
+		canon := make([]workload.Query, len(st.qmap))
+		for j, sid := range st.qmap {
+			canon[j] = supersets[st.cluster].Queries[sid]
+		}
+		ad.opt = baseOpts[st.cluster].View(canon)
+
+		base := baseOpts[st.cluster]
+		budget.Pin(base)
+		defer budget.Unpin(base)
+		return ad.SelectContext(ctx, strategy)
+	})
+
+	out := &FleetResult{
+		Tenants:  make([]FleetTenantResult, len(specs)),
+		Clusters: len(clusters),
+	}
+	for i, r := range results {
+		tr := FleetTenantResult{
+			ID:      r.Tenant.ID,
+			Cluster: tenants[i].cluster,
+			Err:     r.Err,
+			Seq:     r.Seq,
+			Elapsed: r.Elapsed,
+		}
+		if rec, ok := r.Value.(*Recommendation); ok {
+			tr.Rec = rec
+		}
+		out.Tenants[i] = tr
+	}
+	for _, opt := range baseOpts {
+		s := opt.Stats()
+		out.SharedCalls += s.Calls
+		out.SharedHits += s.CacheHits
+	}
+	out.ResidentBytes, out.MaxResidentBytes, out.Evictions = budget.Stats()
+	out.Spills, out.Restores, _ = budget.SpillStats()
+	out.WorkloadPeakResident, out.WorkloadPeakBytes = pf.Stats()
+	out.Elapsed = time.Since(start)
+	publish()
+	prog.Finish()
+	return out, nil
+}

@@ -114,6 +114,14 @@ func TenantFamily(base *Workload, n int, seed int64, skew float64) ([]*Workload,
 	return workload.TenantFamily(base, n, seed, skew)
 }
 
+// PerturbTemplates returns a copy of w with drop random templates removed and
+// add synthesized templates appended (schema untouched) — a near-clone rather
+// than a structural twin, the tenant shape fleet near-match sharing
+// (FleetOptions.NearMatch) is built for.
+func PerturbTemplates(w *Workload, seed int64, drop, add int) (*Workload, error) {
+	return workload.PerturbTemplates(w, seed, drop, add)
+}
+
 // ReadWorkload parses the JSON interchange format.
 func ReadWorkload(r io.Reader) (*Workload, error) { return workload.Read(r) }
 

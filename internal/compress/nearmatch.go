@@ -1,0 +1,259 @@
+// Near-match clustering for fleet mode. Exact clustering (Cluster) only
+// groups tenants whose template sets are identical; real fleets are full of
+// near-clones — the same schema with template sets that drift a little per
+// tenant (an added report here, a dropped batch job there, cf. AIM's
+// production fleets). Per-execution what-if costs decompose per (template,
+// index) and never read frequencies (cf. CoPhy's decomposition), so tenants
+// can share cost tables at template granularity: cluster tenants whose
+// template sets overlap enough, take the UNION of their templates as the
+// cluster superset, and give each member a mapping from its local query IDs
+// into the superset. A shared what-if optimizer keyed on superset template
+// IDs then serves every member exactly — a member simply never probes the
+// superset templates it does not have.
+//
+// Sharing is only sound when the schema (tables, row counts, attribute
+// statistics) is identical across members: schema feeds every cost formula.
+// Near-match therefore clusters within exact schema-fingerprint groups and
+// lets only the template sets differ.
+package compress
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"repro/internal/workload"
+)
+
+// SchemaFingerprint hashes only the schema half of WorkloadFingerprint:
+// tables (row counts, attribute ownership) and attributes (distinct counts,
+// value sizes). Query templates are excluded — it is the sharing-soundness
+// boundary for near-match clustering.
+func SchemaFingerprint(w *workload.Workload) Fingerprint {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	u64(uint64(len(w.Tables)))
+	for _, t := range w.Tables {
+		u64(uint64(t.Rows))
+		u64(uint64(len(t.Attrs)))
+		for _, a := range t.Attrs {
+			u64(uint64(a))
+		}
+	}
+	u64(uint64(w.NumAttrs()))
+	for _, a := range w.Attrs() {
+		u64(uint64(a.Table))
+		u64(uint64(a.Distinct))
+		u64(uint64(a.ValueSize))
+	}
+	return Fingerprint(h.Sum64())
+}
+
+// NearMember is one tenant's membership in a near-match cluster: its input
+// position and the mapping from tenant-local query IDs to superset template
+// IDs (positions in the cluster's template list).
+type NearMember struct {
+	Pos      int
+	QueryMap []int32
+}
+
+// NearClusterInfo describes one near-match cluster: the shared schema
+// (fingerprint plus retained table/attribute copies), the union template list
+// (template ID = list position, frequencies normalized to 1 — members
+// reweight via their own Freq), and the members in input order. The first
+// member is the representative whose template set later tenants were matched
+// against.
+type NearClusterInfo struct {
+	Schema    Fingerprint
+	Tables    []workload.Table
+	Attrs     []workload.Attribute
+	Templates []workload.Query
+	Members   []NearMember
+}
+
+// SupersetWorkload materializes the cluster's union templates over its schema
+// as a full workload — the workload a shared cost model and optimizer are
+// built over. Template IDs equal superset template IDs, so
+// Queries[m.QueryMap[j]] is the canonical query for member m's local query j.
+func (c NearClusterInfo) SupersetWorkload() (*workload.Workload, error) {
+	qs := make([]workload.Query, len(c.Templates))
+	copy(qs, c.Templates)
+	return workload.New(c.Tables, c.Attrs, qs)
+}
+
+// NearMatcher clusters workloads online, one at a time, retaining only
+// per-cluster skeletons (schema copy + union templates + signature index) —
+// never the workloads themselves. That is what lets streaming fleet mode
+// cluster a manifest it cannot hold in memory: pass one loads each workload,
+// feeds it to Add, and releases it.
+//
+// Assignment is greedy and deterministic in input order: a workload joins the
+// first cluster (in creation order) with an identical schema whose
+// REPRESENTATIVE template set overlaps its own by Jaccard >= threshold.
+// Matching against the representative — not the growing union — keeps cluster
+// drift bounded: every member is within the threshold of the first member, so
+// the superset stays within (2 - threshold)/threshold of any member's size.
+type NearMatcher struct {
+	threshold float64
+	clusters  []*nearCluster
+	bySchema  map[Fingerprint][]int
+}
+
+type nearCluster struct {
+	schema Fingerprint
+	// tables/attrs are deep copies of the first member's schema, safe to
+	// retain after the member workload is released.
+	tables []workload.Table
+	attrs  []workload.Attribute
+	// sigIndex maps template signatures to superset template IDs; repSigs is
+	// the frozen signature set of the first member.
+	sigIndex  map[string]int32
+	repSigs   map[string]bool
+	templates []workload.Query
+	members   []NearMember
+}
+
+// DefaultNearMatchOverlap is the default Jaccard threshold: half the
+// templates shared is where union-superset sharing starts winning over
+// per-tenant tables in the fleet bench.
+const DefaultNearMatchOverlap = 0.5
+
+// NewNearMatcher returns an online near-match clusterer. threshold is the
+// minimum Jaccard overlap |A∩B|/|A∪B| between a tenant's template-signature
+// set and a cluster representative's; values <= 0 merge every tenant with an
+// identical schema, values > 1 make every tenant its own cluster.
+func NewNearMatcher(threshold float64) *NearMatcher {
+	return &NearMatcher{threshold: threshold, bySchema: make(map[Fingerprint][]int)}
+}
+
+// Add assigns the workload at input position pos to a cluster, extending the
+// cluster's template superset with any templates the tenant has that the
+// superset lacks. w is not retained.
+func (m *NearMatcher) Add(pos int, w *workload.Workload) {
+	sf := SchemaFingerprint(w)
+	sigs := make([]string, len(w.Queries))
+	sigSet := make(map[string]bool, len(w.Queries))
+	for j, q := range w.Queries {
+		sigs[j] = TemplateSignature(q)
+		sigSet[sigs[j]] = true
+	}
+
+	var c *nearCluster
+	for _, ci := range m.bySchema[sf] {
+		cand := m.clusters[ci]
+		if !sameSchema(cand, w) {
+			continue
+		}
+		if jaccard(sigSet, cand.repSigs) >= m.threshold {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		c = &nearCluster{
+			schema:   sf,
+			tables:   copyTables(w.Tables),
+			attrs:    append([]workload.Attribute(nil), w.Attrs()...),
+			sigIndex: make(map[string]int32, len(w.Queries)),
+			repSigs:  sigSet,
+		}
+		m.bySchema[sf] = append(m.bySchema[sf], len(m.clusters))
+		m.clusters = append(m.clusters, c)
+	}
+
+	qmap := make([]int32, len(w.Queries))
+	for j, q := range w.Queries {
+		id, ok := c.sigIndex[sigs[j]]
+		if !ok {
+			id = int32(len(c.templates))
+			t := q
+			t.ID = int(id)
+			t.Freq = 1
+			t.Attrs = append([]int(nil), q.Attrs...)
+			c.templates = append(c.templates, t)
+			c.sigIndex[sigs[j]] = id
+		}
+		qmap[j] = id
+	}
+	c.members = append(c.members, NearMember{Pos: pos, QueryMap: qmap})
+}
+
+// Clusters returns the assignments so far, in cluster-creation order (which
+// is input order of each cluster's first member).
+func (m *NearMatcher) Clusters() []NearClusterInfo {
+	out := make([]NearClusterInfo, len(m.clusters))
+	for i, c := range m.clusters {
+		out[i] = NearClusterInfo{
+			Schema:    c.schema,
+			Tables:    c.tables,
+			Attrs:     c.attrs,
+			Templates: c.templates,
+			Members:   c.members,
+		}
+	}
+	return out
+}
+
+// ClusterNear is the batch form of NearMatcher: partition ws into near-match
+// clusters at the given Jaccard threshold.
+func ClusterNear(ws []*workload.Workload, threshold float64) []NearClusterInfo {
+	m := NewNearMatcher(threshold)
+	for i, w := range ws {
+		m.Add(i, w)
+	}
+	return m.Clusters()
+}
+
+// jaccard computes |a∩b| / |a∪b| over signature sets; two empty sets count
+// as fully overlapping.
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for s := range a {
+		if b[s] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// sameSchema is the schema half of SameStructure, against a cluster's
+// retained skeleton — the collision guard behind SchemaFingerprint.
+func sameSchema(c *nearCluster, w *workload.Workload) bool {
+	if len(c.tables) != len(w.Tables) || len(c.attrs) != w.NumAttrs() {
+		return false
+	}
+	for i, ta := range c.tables {
+		tb := w.Tables[i]
+		if ta.Rows != tb.Rows || len(ta.Attrs) != len(tb.Attrs) {
+			return false
+		}
+		for j, at := range ta.Attrs {
+			if at != tb.Attrs[j] {
+				return false
+			}
+		}
+	}
+	wa := w.Attrs()
+	for i, aa := range c.attrs {
+		ab := wa[i]
+		if aa.Table != ab.Table || aa.Distinct != ab.Distinct || aa.ValueSize != ab.ValueSize {
+			return false
+		}
+	}
+	return true
+}
+
+func copyTables(ts []workload.Table) []workload.Table {
+	out := make([]workload.Table, len(ts))
+	for i, t := range ts {
+		out[i] = t
+		out[i].Attrs = append([]int(nil), t.Attrs...)
+	}
+	return out
+}

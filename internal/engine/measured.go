@@ -49,9 +49,19 @@ type MeasuredSource struct {
 	UseWallTime bool
 
 	queries []PointQuery
+	seed    int64
 
-	// in canonicalizes index identities so the build cache below is keyed by
-	// dense IDs — one Intern per request instead of a Key() string build.
+	// bc holds the built-index cache, shared between a source and every
+	// rebinding made with ForWorkload so a physical index is built once per
+	// database no matter which template space requested it.
+	bc *buildCache
+}
+
+// buildCache is the sharable half of a measured source: interned index
+// identities, built secondary indexes, and in-flight build deduplication.
+type buildCache struct {
+	// in canonicalizes index identities so the cache is keyed by dense IDs —
+	// one Intern per request instead of a Key() string build.
 	in *workload.Interner
 
 	mu       sync.Mutex
@@ -63,11 +73,14 @@ type MeasuredSource struct {
 // point query (seeded deterministically) and returns the measured source.
 func NewMeasuredSource(db *DB, seed int64) *MeasuredSource {
 	ms := &MeasuredSource{
-		db:       db,
-		Repeats:  3,
-		in:       workload.NewInterner(),
-		indexes:  make(map[workload.IndexID]*SecondaryIndex),
-		building: make(map[workload.IndexID]chan struct{}),
+		db:      db,
+		Repeats: 3,
+		seed:    seed,
+		bc: &buildCache{
+			in:       workload.NewInterner(),
+			indexes:  make(map[workload.IndexID]*SecondaryIndex),
+			building: make(map[workload.IndexID]chan struct{}),
+		},
 	}
 	for _, q := range db.w.Queries {
 		ms.queries = append(ms.queries, db.Instantiate(q, seed))
@@ -75,27 +88,50 @@ func NewMeasuredSource(db *DB, seed int64) *MeasuredSource {
 	return ms
 }
 
+// ForWorkload rebinds the source to a different template space over the SAME
+// database: w must share the database's schema (tables, attributes) but may
+// carry different query templates — the near-match fleet path uses this to
+// build a cluster-superset source whose point queries are instantiated under
+// superset template IDs. The built-index cache (and its in-flight
+// deduplication) is shared with the receiver, so physical indexes are built
+// once per database across all rebindings; Repeats/UseWallTime settings are
+// inherited.
+func (ms *MeasuredSource) ForWorkload(w *workload.Workload) *MeasuredSource {
+	out := &MeasuredSource{
+		db:          ms.db,
+		Repeats:     ms.Repeats,
+		UseWallTime: ms.UseWallTime,
+		seed:        ms.seed,
+		bc:          ms.bc,
+	}
+	for _, q := range w.Queries {
+		out.queries = append(out.queries, ms.db.Instantiate(q, ms.seed))
+	}
+	return out
+}
+
 // index returns the (cached) built secondary index for k. Index construction
 // dominates end-to-end advisor time, so concurrent requests for the same key
 // are deduplicated: the first caller builds, later callers wait on the
 // in-flight build instead of sorting a duplicate permutation.
 func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
-	id := ms.in.Intern(k)
+	bc := ms.bc
+	id := bc.in.Intern(k)
 	for {
-		ms.mu.Lock()
-		if ix, ok := ms.indexes[id]; ok {
-			ms.mu.Unlock()
+		bc.mu.Lock()
+		if ix, ok := bc.indexes[id]; ok {
+			bc.mu.Unlock()
 			return ix
 		}
-		if inflight, ok := ms.building[id]; ok {
-			ms.mu.Unlock()
+		if inflight, ok := bc.building[id]; ok {
+			bc.mu.Unlock()
 			mDedupWaits.Inc()
 			<-inflight
 			continue
 		}
 		done := make(chan struct{})
-		ms.building[id] = done
-		ms.mu.Unlock()
+		bc.building[id] = done
+		bc.mu.Unlock()
 
 		// If the build panics (a corrupt index spec, a bug in the sort), the
 		// in-flight entry must not leak: waiters parked on done would hang
@@ -105,9 +141,9 @@ func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 		ok := false
 		defer func() {
 			if !ok {
-				ms.mu.Lock()
-				delete(ms.building, id)
-				ms.mu.Unlock()
+				bc.mu.Lock()
+				delete(bc.building, id)
+				bc.mu.Unlock()
 				close(done)
 			}
 		}()
@@ -122,10 +158,10 @@ func (ms *MeasuredSource) index(k workload.Index) *SecondaryIndex {
 			lg.Debug("engine index built",
 				"index", k.Key(), "bytes", built.SizeBytes(), "elapsed", elapsed)
 		}
-		ms.mu.Lock()
-		ms.indexes[id] = built
-		delete(ms.building, id)
-		ms.mu.Unlock()
+		bc.mu.Lock()
+		bc.indexes[id] = built
+		delete(bc.building, id)
+		bc.mu.Unlock()
 		close(done)
 		return built
 	}

@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stubSpiller is a stubCache whose bytes can round-trip through a file, plus
+// switchable failure injection for the fallback paths.
+type stubSpiller struct {
+	stubCache
+	failSpill   bool
+	failRestore bool
+}
+
+func (s *stubSpiller) SpillTables(path string) (int64, error) {
+	if s.failSpill {
+		return 0, errors.New("injected spill failure")
+	}
+	n := s.TableBytes()
+	if err := os.WriteFile(path, make([]byte, n), 0o644); err != nil {
+		return 0, err
+	}
+	return s.EvictTables(), nil
+}
+
+func (s *stubSpiller) RestoreTables(path string) (int64, error) {
+	if s.failRestore {
+		return 0, errors.New("injected restore failure")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	s.fill(int64(len(data)))
+	os.Remove(path)
+	return int64(len(data)), nil
+}
+
+func TestTableBudgetZeroAndNegativeLimits(t *testing.T) {
+	// Zero and negative limits both mean "accounting only": nothing is ever
+	// evicted and the resident counter never underflows through repeated
+	// pin/unpin cycles.
+	for _, limit := range []int64{0, -7} {
+		b := NewTableBudget(limit)
+		c := &stubCache{}
+		for i := 0; i < 3; i++ {
+			b.Pin(c)
+			c.fill(100)
+			b.Unpin(c)
+		}
+		if c.TableBytes() != 100 {
+			t.Fatalf("limit %d evicted", limit)
+		}
+		resident, maxResident, evictions := b.Stats()
+		if resident != 100 || evictions != 0 {
+			t.Fatalf("limit %d: resident %d evictions %d, want 100/0", limit, resident, evictions)
+		}
+		if maxResident != 100 {
+			t.Fatalf("limit %d: high-water %d, want 100", limit, maxResident)
+		}
+		// Double unpin and unknown-cache unpin must not drive resident
+		// negative.
+		b.Unpin(c)
+		b.Unpin(&stubCache{})
+		if resident, _, _ := b.Stats(); resident < 0 {
+			t.Fatalf("limit %d: resident underflowed to %d", limit, resident)
+		}
+	}
+}
+
+func TestTableBudgetOversizedPinnedCache(t *testing.T) {
+	// A single pinned cache larger than the whole budget is working memory:
+	// exempt while pinned, evicted the moment it joins the retained pool, and
+	// the accounting never goes negative at any step.
+	b := NewTableBudget(10)
+	big := &stubCache{}
+	b.Pin(big)
+	big.fill(1 << 20)
+	if resident, _, _ := b.Stats(); resident != 0 {
+		t.Fatalf("pinned bytes counted as resident: %d", resident)
+	}
+	// Re-pinning the already-pinned oversized cache must be harmless.
+	b.Pin(big)
+	b.Unpin(big)
+	if big.TableBytes() != 1<<20 {
+		t.Fatal("cache evicted while still pinned once")
+	}
+	b.Unpin(big)
+	if big.TableBytes() != 0 {
+		t.Fatal("oversized cache survived its last unpin")
+	}
+	resident, maxResident, evictions := b.Stats()
+	if resident != 0 || evictions != 1 {
+		t.Fatalf("resident %d evictions %d, want 0/1", resident, evictions)
+	}
+	if maxResident < 0 || resident < 0 {
+		t.Fatalf("accounting underflow: resident %d max %d", resident, maxResident)
+	}
+}
+
+func TestTableBudgetEqualLastUseEvictionOrder(t *testing.T) {
+	// Victim selection iterates a map; with equal lastUse stamps the
+	// registration sequence must break the tie so eviction order is
+	// deterministic. Equal stamps cannot arise through Pin/Unpin (the clock
+	// is monotonic), so stage them directly.
+	b := NewTableBudget(10)
+	c1, c2 := &stubCache{}, &stubCache{}
+	c1.fill(8)
+	c2.fill(8)
+	b.mu.Lock()
+	b.entries[c1] = &budgetEntry{bytes: 8, lastUse: 5, seq: 1}
+	b.entries[c2] = &budgetEntry{bytes: 8, lastUse: 5, seq: 2}
+	b.resident = 16
+	b.evictLocked()
+	b.mu.Unlock()
+	if c1.TableBytes() != 0 {
+		t.Fatal("lower-seq cache survived an equal-last-use tie")
+	}
+	if c2.TableBytes() != 8 {
+		t.Fatal("higher-seq cache evicted despite the tie-break")
+	}
+	if resident, _, _ := b.Stats(); resident != 8 {
+		t.Fatalf("resident %d after tie-broken eviction, want 8", resident)
+	}
+}
+
+func TestTableBudgetSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := NewTableBudget(10)
+	b.SpillTo(dir)
+	c := &stubSpiller{}
+	b.Pin(c)
+	c.fill(64)
+	b.Unpin(c) // over budget: evicts, and with a spill dir set, spills
+
+	if c.TableBytes() != 0 {
+		t.Fatal("cache not evicted on spill")
+	}
+	spills, restores, errs := b.SpillStats()
+	if spills != 1 || restores != 0 || errs != 0 {
+		t.Fatalf("after spill: spills/restores/errs = %d/%d/%d", spills, restores, errs)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.spill"))
+	if len(files) != 1 {
+		t.Fatalf("%d spill files on disk, want 1", len(files))
+	}
+
+	// Re-pin restores from disk and consumes the file.
+	b.Pin(c)
+	if c.TableBytes() != 64 {
+		t.Fatalf("restored cache holds %d bytes, want 64", c.TableBytes())
+	}
+	if _, _, errs := b.SpillStats(); errs != 0 {
+		t.Fatalf("restore errored: %d", errs)
+	}
+	if _, restores, _ := b.SpillStats(); restores != 1 {
+		t.Fatal("restore not counted")
+	}
+	files, _ = filepath.Glob(filepath.Join(dir, "*.spill"))
+	if len(files) != 0 {
+		t.Fatalf("spill file not consumed: %v", files)
+	}
+	b.Unpin(c)
+}
+
+func TestTableBudgetSpillFailureFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	b := NewTableBudget(10)
+	b.SpillTo(dir)
+	c := &stubSpiller{failSpill: true}
+	b.Pin(c)
+	c.fill(64)
+	b.Unpin(c)
+	// Spill failed: plain eviction must have run so the pool is in budget.
+	if c.TableBytes() != 0 {
+		t.Fatal("failed spill left tables resident")
+	}
+	resident, _, evictions := b.Stats()
+	if resident != 0 || evictions != 1 {
+		t.Fatalf("resident %d evictions %d after failed spill", resident, evictions)
+	}
+	if _, _, errs := b.SpillStats(); errs != 1 {
+		t.Fatalf("spill failure not counted: errs=%d", errs)
+	}
+}
+
+func TestTableBudgetRestoreFailureFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	b := NewTableBudget(10)
+	b.SpillTo(dir)
+	c := &stubSpiller{}
+	b.Pin(c)
+	c.fill(64)
+	b.Unpin(c)
+	c.failRestore = true
+	b.Pin(c) // restore fails; the cache stays empty and rebuilds on demand
+	if c.TableBytes() != 0 {
+		t.Fatal("failed restore somehow produced bytes")
+	}
+	if _, restores, errs := b.SpillStats(); restores != 0 || errs != 1 {
+		t.Fatalf("restores/errs = %d/%d after failed restore, want 0/1", restores, errs)
+	}
+	b.Unpin(c)
+}
+
+func TestTableBudgetNonSpillerEvictsPlainly(t *testing.T) {
+	// A spill dir must not change behavior for caches that cannot spill.
+	dir := t.TempDir()
+	b := NewTableBudget(10)
+	b.SpillTo(dir)
+	c := &stubCache{}
+	b.Pin(c)
+	c.fill(64)
+	b.Unpin(c)
+	if c.TableBytes() != 0 {
+		t.Fatal("non-spiller not evicted")
+	}
+	if spills, _, errs := b.SpillStats(); spills != 0 || errs != 0 {
+		t.Fatalf("non-spiller eviction recorded spill stats: %d/%d", spills, errs)
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "*")); len(files) != 0 {
+		t.Fatalf("non-spiller eviction left files: %v", files)
+	}
+}

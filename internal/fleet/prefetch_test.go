@@ -1,0 +1,147 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPrefetcherWindowBoundsResidency(t *testing.T) {
+	const n, window = 20, 3
+	var mu sync.Mutex
+	loaded := make([]bool, n)
+	p := NewPrefetcher(n, window,
+		func(pos int) (any, error) {
+			mu.Lock()
+			loaded[pos] = true
+			mu.Unlock()
+			return fmt.Sprintf("tenant-%d", pos), nil
+		},
+		func(item any) int64 { return 100 })
+	defer p.Close()
+
+	for pos := 0; pos < n; pos++ {
+		item, err := p.Acquire(pos)
+		if err != nil {
+			t.Fatalf("Acquire(%d): %v", pos, err)
+		}
+		if item != fmt.Sprintf("tenant-%d", pos) {
+			t.Fatalf("Acquire(%d) = %v", pos, item)
+		}
+		// With a window of 3 and in-order consumption, nothing further than
+		// pos+window can have been loaded yet.
+		mu.Lock()
+		for later := pos + window + 1; later < n; later++ {
+			if loaded[later] {
+				t.Fatalf("position %d loaded while consuming %d (window %d)", later, pos, window)
+			}
+		}
+		mu.Unlock()
+		p.Release(pos)
+	}
+	maxResident, maxBytes := p.Stats()
+	if maxResident > window {
+		t.Errorf("peak resident %d exceeds window %d", maxResident, window)
+	}
+	if maxBytes > int64(window)*100 {
+		t.Errorf("peak resident bytes %d exceed window*item", maxBytes)
+	}
+	if maxResident == 0 || maxBytes == 0 {
+		t.Error("stats recorded nothing")
+	}
+}
+
+func TestPrefetcherLoadErrorPropagates(t *testing.T) {
+	boom := errors.New("load failed")
+	p := NewPrefetcher(3, 2, func(pos int) (any, error) {
+		if pos == 1 {
+			return nil, boom
+		}
+		return pos, nil
+	}, nil)
+	defer p.Close()
+	if _, err := p.Acquire(0); err != nil {
+		t.Fatalf("Acquire(0): %v", err)
+	}
+	p.Release(0)
+	if _, err := p.Acquire(1); !errors.Is(err, boom) {
+		t.Fatalf("Acquire(1) err = %v, want load error", err)
+	}
+	p.Release(1)
+	if _, err := p.Acquire(2); err != nil {
+		t.Fatalf("Acquire(2) after errored slot: %v", err)
+	}
+}
+
+func TestPrefetcherOutOfRange(t *testing.T) {
+	p := NewPrefetcher(2, 1, func(pos int) (any, error) { return pos, nil }, nil)
+	defer p.Close()
+	if _, err := p.Acquire(-1); err == nil {
+		t.Error("Acquire(-1) did not error")
+	}
+	if _, err := p.Acquire(2); err == nil {
+		t.Error("Acquire(n) did not error")
+	}
+}
+
+func TestPrefetcherCloseUnblocksWaiters(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPrefetcher(4, 1, func(pos int) (any, error) {
+		if pos == 1 {
+			<-block
+		}
+		return pos, nil
+	}, nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.Acquire(3) // can never load: window 1, position 1 stuck
+		errc <- err
+	}()
+	p.Close()
+	close(block)
+	if err := <-errc; err == nil {
+		t.Fatal("Acquire survived Close without error")
+	}
+}
+
+func TestPrefetcherConcurrentConsumers(t *testing.T) {
+	// Several workers pulling positions in dispatch order (shared counter),
+	// as the fleet scheduler does; window >= workers must not deadlock.
+	const n, workers = 64, 4
+	p := NewPrefetcher(n, workers, func(pos int) (any, error) { return pos, nil },
+		func(any) int64 { return 1 })
+	defer p.Close()
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		v := int(next)
+		next++
+		return v
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pos := take()
+				if pos >= n {
+					return
+				}
+				item, err := p.Acquire(pos)
+				if err != nil || item != pos {
+					t.Errorf("Acquire(%d) = %v, %v", pos, item, err)
+					return
+				}
+				p.Release(pos)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxResident, _ := p.Stats(); maxResident > workers {
+		t.Errorf("peak resident %d exceeds window %d", maxResident, workers)
+	}
+}

@@ -42,6 +42,16 @@ type FleetState struct {
 	// ResidentBytes and Evictions mirror the table budget's accounting.
 	ResidentBytes int64 `json:"resident_bytes,omitempty"`
 	Evictions     int64 `json:"evictions,omitempty"`
+
+	// Spills/Restores count cost tables serialized to disk on eviction and
+	// restored from disk on re-pin (spill-to-disk mode only).
+	Spills   int64 `json:"spills,omitempty"`
+	Restores int64 `json:"restores,omitempty"`
+
+	// WorkloadsResident/WorkloadBytes report the streaming prefetcher's
+	// currently loaded tenant workloads (streaming manifest mode only).
+	WorkloadsResident int   `json:"workloads_resident,omitempty"`
+	WorkloadBytes     int64 `json:"workload_bytes,omitempty"`
 }
 
 // fleetTracker is the process-wide fleet-progress cell, generation-fenced
@@ -124,6 +134,23 @@ func (p *FleetRun) SetMemory(residentBytes, evictions int64) {
 	p.update(func(st *FleetState) {
 		st.ResidentBytes = residentBytes
 		st.Evictions = evictions
+	})
+}
+
+// SetSpill publishes the table budget's spill-to-disk accounting.
+func (p *FleetRun) SetSpill(spills, restores int64) {
+	p.update(func(st *FleetState) {
+		st.Spills = spills
+		st.Restores = restores
+	})
+}
+
+// SetWorkloads publishes the streaming prefetcher's resident workload count
+// and estimated bytes.
+func (p *FleetRun) SetWorkloads(resident int, bytes int64) {
+	p.update(func(st *FleetState) {
+		st.WorkloadsResident = resident
+		st.WorkloadBytes = bytes
 	})
 }
 

@@ -61,10 +61,10 @@ func (o *Optimizer) refBaseCost(q workload.Query) float64 {
 	c, ok := t.baseCache[q.ID]
 	t.mu.RUnlock()
 	if ok {
-		o.cacheHits.Add(1)
+		o.ctr.cacheHits.Add(1)
 		return c
 	}
-	o.calls.Add(1)
+	o.ctr.calls.Add(1)
 	c = sanitizeCost(o.src.BaseCost(q))
 	t.mu.Lock()
 	t.baseCache[q.ID] = c
@@ -79,10 +79,10 @@ func (o *Optimizer) refCostWithIndex(q workload.Query, k workload.Index) float64
 	key := pairKey{q.ID, k.Key()}
 	shard := &o.ref.indexCache[shardOf(q.ID)]
 	if c, ok := shard.get(key); ok {
-		o.cacheHits.Add(1)
+		o.ctr.cacheHits.Add(1)
 		return c
 	}
-	o.calls.Add(1)
+	o.ctr.calls.Add(1)
 	c := sanitizeCost(o.src.CostWithIndex(q, k))
 	shard.put(key, c)
 	return c

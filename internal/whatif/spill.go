@@ -1,0 +1,298 @@
+package whatif
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/workload"
+)
+
+// Spill-to-disk for evicted cost tables (fleet mode). Every cached value is a
+// deterministic function of the source, so an evicted table can always be
+// rebuilt — but rebuilding replays what-if source calls, which on an
+// engine-measured source means re-executing queries. Spilling instead
+// serializes the flat tables to a compact binary file on eviction and
+// restores them bit-identically on re-dispatch: restore is a sequential read
+// plus hash inserts, orders of magnitude cheaper than the source.
+//
+// Format (little-endian throughout):
+//
+//	magic     [8]byte  "WIFSPIL1"
+//	nBase     uint32   then nBase x (qid uint32, costBits uint64)
+//	nSizes    uint32   then nSizes x (indexID uint32, size uint64)
+//	32 index-cost shards: count uint32, then count x (pairKey uint64, costBits uint64)
+//	32 maintenance shards: same layout
+//	checksum  uint64   FNV-1a over every preceding byte
+//
+// Costs are stored as math.Float64bits so the round trip is bit-exact (the
+// differential tests compare restored values bitwise). Pair keys pack
+// (query ID << 32 | interned index ID); the per-query invalidation lists are
+// reconstructed from key>>32 on restore rather than stored. Interned index
+// IDs are assigned in first-intern order and are therefore process-local:
+// a spill file is only meaningful to the optimizer (strictly: the interner)
+// that wrote it, within one process run. Fleet spill files live under a
+// per-run directory and are consumed on restore.
+
+// spillMagic identifies a whatif spill file; the trailing digit versions the
+// layout.
+var spillMagic = [8]byte{'W', 'I', 'F', 'S', 'P', 'I', 'L', '1'}
+
+var errRefSpill = errors.New("whatif: table spill requires the flat backend")
+
+// WriteTables serializes the optimizer's cost tables to w in the spill format
+// and returns the number of bytes written. The tables are left intact; pair
+// EvictTables after a successful write to free them (or use SpillTables,
+// which does both). Flat backend only.
+func (o *Optimizer) WriteTables(w io.Writer) (int64, error) {
+	if o.flat == nil {
+		return 0, errRefSpill
+	}
+	if o.canon != nil {
+		return 0, errors.New("whatif: spill through the base optimizer, not a tenant View")
+	}
+	buf := o.appendTables(make([]byte, 0, o.spillSizeHint()))
+	h := fnv.New64a()
+	h.Write(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Sum64())
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// spillSizeHint estimates the serialized size so appendTables allocates once.
+func (o *Optimizer) spillSizeHint() int {
+	t := o.flat
+	t.mu.RLock()
+	n := 8 + 4 + 12*len(t.base) + 4 + 12*len(t.sizes) + 8
+	t.mu.RUnlock()
+	for i := range t.indexCache {
+		n += 4 + 16*t.indexCache[i].len()
+		n += 4 + 16*t.maintCache[i].len()
+	}
+	return n
+}
+
+func (o *Optimizer) appendTables(buf []byte) []byte {
+	t := o.flat
+	buf = append(buf, spillMagic[:]...)
+
+	t.mu.RLock()
+	nBase := 0
+	for _, set := range t.baseSet {
+		if set {
+			nBase++
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(nBase))
+	for qid, set := range t.baseSet {
+		if set {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(qid))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t.base[qid]))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.sizeCount))
+	for id, sz := range t.sizes {
+		if sz >= 0 {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(sz))
+		}
+	}
+	t.mu.RUnlock()
+
+	for i := range t.indexCache {
+		buf = t.indexCache[i].appendEntries(buf)
+	}
+	for i := range t.maintCache {
+		buf = t.maintCache[i].appendEntries(buf)
+	}
+	return buf
+}
+
+// appendEntries serializes the shard's live entries: count, then
+// (key, valueBits) pairs in slot order.
+func (s *flatShard) appendEntries(buf []byte) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.live))
+	for i, k := range s.keys {
+		if k == emptyKey || k == tombKey {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.vals[i]))
+	}
+	return buf
+}
+
+// ReadTables restores cost tables from a spill stream written by WriteTables.
+// Entries are merged into the current tables (identical values under a
+// deterministic source, so merging is safe); the expected use is restoring
+// into just-evicted, empty tables. The checksum trailer is verified before
+// any entry is applied. Flat backend only.
+func (o *Optimizer) ReadTables(r io.Reader) error {
+	if o.flat == nil {
+		return errRefSpill
+	}
+	if o.canon != nil {
+		return errors.New("whatif: restore through the base optimizer, not a tenant View")
+	}
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("whatif: reading spill: %w", err)
+	}
+	if len(buf) < len(spillMagic)+8 {
+		return errors.New("whatif: spill file truncated")
+	}
+	payload, trailer := buf[:len(buf)-8], buf[len(buf)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if got, want := h.Sum64(), binary.LittleEndian.Uint64(trailer); got != want {
+		return fmt.Errorf("whatif: spill checksum mismatch: %#x != %#x", got, want)
+	}
+	c := spillCursor{buf: payload}
+	var magic [8]byte
+	copy(magic[:], c.take(8))
+	if magic != spillMagic {
+		return fmt.Errorf("whatif: bad spill magic %q", magic[:])
+	}
+
+	t := o.flat
+	nBase := int(c.u32())
+	for i := 0; i < nBase; i++ {
+		qid := int(c.u32())
+		t.basePut(qid, math.Float64frombits(c.u64()))
+	}
+	nSizes := int(c.u32())
+	for i := 0; i < nSizes; i++ {
+		id := c.u32()
+		t.sizePut(workload.IndexID(id), int64(c.u64()))
+	}
+	for i := range t.indexCache {
+		if err := t.indexCache[i].readEntries(&c); err != nil {
+			return err
+		}
+	}
+	for i := range t.maintCache {
+		if err := t.maintCache[i].readEntries(&c); err != nil {
+			return err
+		}
+	}
+	if c.err != nil {
+		return fmt.Errorf("whatif: spill file truncated: %w", c.err)
+	}
+	if len(c.buf) != c.off {
+		return fmt.Errorf("whatif: %d trailing bytes in spill payload", len(c.buf)-c.off)
+	}
+	return nil
+}
+
+// readEntries merges one serialized shard into s, pre-sizing the table so the
+// inserts never rehash mid-restore.
+func (s *flatShard) readEntries(c *spillCursor) error {
+	n := int(c.u32())
+	if c.err != nil {
+		return fmt.Errorf("whatif: spill file truncated: %w", c.err)
+	}
+	if n > 0 {
+		s.reserve(n)
+	}
+	for i := 0; i < n; i++ {
+		key := c.u64()
+		bits := c.u64()
+		if c.err != nil {
+			return fmt.Errorf("whatif: spill file truncated: %w", c.err)
+		}
+		if key == emptyKey || key == tombKey {
+			return fmt.Errorf("whatif: sentinel pair key %#x in spill file", key)
+		}
+		s.put(int(key>>32), key, math.Float64frombits(bits))
+	}
+	return nil
+}
+
+// reserve grows the shard to hold at least n live entries without rehashing.
+func (s *flatShard) reserve(n int) {
+	s.mu.Lock()
+	need := 64
+	for need < 2*(s.live+n) {
+		need *= 2
+	}
+	if need > len(s.keys) {
+		s.rehash(need)
+	}
+	s.mu.Unlock()
+}
+
+// spillCursor walks a byte slice with sticky short-read error tracking.
+type spillCursor struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (c *spillCursor) take(n int) []byte {
+	if c.err != nil || c.off+n > len(c.buf) {
+		if c.err == nil {
+			c.err = io.ErrUnexpectedEOF
+		}
+		return make([]byte, n)
+	}
+	b := c.buf[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *spillCursor) u32() uint32 { return binary.LittleEndian.Uint32(c.take(4)) }
+func (c *spillCursor) u64() uint64 { return binary.LittleEndian.Uint64(c.take(8)) }
+
+// SpillTables writes the tables to path (atomically, via a same-directory
+// temp file) and then evicts them, returning the estimated bytes freed. On
+// write error the tables are left intact and nothing is evicted.
+func (o *Optimizer) SpillTables(path string) (int64, error) {
+	if o.flat == nil {
+		return 0, errRefSpill
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".spill-*")
+	if err != nil {
+		return 0, fmt.Errorf("whatif: creating spill file: %w", err)
+	}
+	if _, err := o.WriteTables(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("whatif: writing spill file: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("whatif: closing spill file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return 0, fmt.Errorf("whatif: publishing spill file: %w", err)
+	}
+	return o.EvictTables(), nil
+}
+
+// RestoreTables reads a spill file written by SpillTables back into the
+// (typically just-evicted) tables and deletes it — spill files are consumed
+// exactly once. Returns the estimated resident bytes of the restored tables.
+func (o *Optimizer) RestoreTables(path string) (int64, error) {
+	if o.flat == nil {
+		return 0, errRefSpill
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("whatif: opening spill file: %w", err)
+	}
+	err = o.ReadTables(f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	os.Remove(path)
+	return o.TableBytes(), nil
+}

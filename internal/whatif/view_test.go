@@ -1,0 +1,120 @@
+package whatif
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+// tenantSubset builds a tenant workload using every other template of the
+// superset workload, with dense local IDs and different frequencies, plus the
+// canon mapping (tenant-local query ID -> superset template) a View needs.
+func tenantSubset(t *testing.T, sup *workload.Workload) (*workload.Workload, []workload.Query) {
+	t.Helper()
+	var qs []workload.Query
+	var canon []workload.Query
+	for i, q := range sup.Queries {
+		if i%2 != 0 {
+			continue
+		}
+		local := q
+		local.ID = len(qs)
+		local.Freq = q.Freq*3 + 7 // frequencies must not matter
+		qs = append(qs, local)
+		canon = append(canon, q)
+	}
+	tw, err := workload.New(sup.Tables, sup.Attrs(), qs)
+	if err != nil {
+		t.Fatalf("building tenant subset workload: %v", err)
+	}
+	return tw, canon
+}
+
+// TestViewSubsetExactness: probing a tenant's query through a cluster View
+// must return bit-identical values to a standalone optimizer built over the
+// tenant's own workload — per-execution what-if costs never read frequencies,
+// which is what makes superset-template sharing exact.
+func TestViewSubsetExactness(t *testing.T) {
+	sup := testWorkload(t)
+	tw, canon := tenantSubset(t, sup)
+
+	shared := New(costmodel.New(sup, costmodel.SingleIndex))
+	view := shared.View(canon)
+	standalone := New(costmodel.New(tw, costmodel.SingleIndex))
+
+	for _, q := range tw.Queries {
+		ks := []workload.Index{workload.MustIndex(tw, q.Attrs[0])}
+		if len(q.Attrs) > 1 {
+			ks = append(ks, workload.MustIndex(tw, q.Attrs...))
+		}
+		if a, b := view.BaseCost(q), standalone.BaseCost(q); math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("query %d: view base %v != standalone %v", q.ID, a, b)
+		}
+		for _, k := range ks {
+			if a, b := view.CostWithIndex(q, k), standalone.CostWithIndex(q, k); math.Float64bits(a) != math.Float64bits(b) {
+				t.Errorf("query %d, index %s: view cost %v != standalone %v", q.ID, k.Key(), a, b)
+			}
+			if a, b := view.MaintenanceCost(q, k), standalone.MaintenanceCost(q, k); math.Float64bits(a) != math.Float64bits(b) {
+				t.Errorf("query %d, index %s: view maint %v != standalone %v", q.ID, k.Key(), a, b)
+			}
+			if a, b := view.IndexSize(k), standalone.IndexSize(k); a != b {
+				t.Errorf("index %s: view size %d != standalone %d", k.Key(), a, b)
+			}
+		}
+	}
+}
+
+// TestViewSharesCache: a pair first probed through the base optimizer (or a
+// sibling view) must be a cache hit when re-probed through a view, and all
+// call accounting lands on the shared counters.
+func TestViewSharesCache(t *testing.T) {
+	sup := testWorkload(t)
+	tw, canon := tenantSubset(t, sup)
+
+	shared := New(costmodel.New(sup, costmodel.SingleIndex))
+	view1 := shared.View(canon)
+	view2 := shared.View(canon)
+
+	q := tw.Queries[0]
+	k := workload.MustIndex(tw, q.Attrs[0])
+
+	// Warm through the superset identity.
+	supQ := canon[q.ID]
+	want := shared.CostWithIndex(supQ, k)
+	calls := shared.Stats().Calls
+
+	got := view1.CostWithIndex(q, k)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("view cost %v != superset cost %v", got, want)
+	}
+	if s := shared.Stats(); s.Calls != calls {
+		t.Errorf("view probe of warmed pair consumed %d calls", s.Calls-calls)
+	}
+
+	// A miss through one view is a hit through its sibling.
+	q2 := tw.Queries[1]
+	k2 := workload.MustIndex(tw, q2.Attrs[0])
+	view1.CostWithIndex(q2, k2)
+	callsAfterMiss := shared.Stats().Calls
+	if callsAfterMiss != calls+1 {
+		t.Fatalf("cold view probe consumed %d calls, want 1", callsAfterMiss-calls)
+	}
+	view2.CostWithIndex(q2, k2)
+	if s := shared.Stats(); s.Calls != callsAfterMiss {
+		t.Errorf("sibling view probe consumed %d calls, want 0", s.Calls-callsAfterMiss)
+	}
+}
+
+func TestViewOfViewPanics(t *testing.T) {
+	sup := testWorkload(t)
+	_, canon := tenantSubset(t, sup)
+	v := New(costmodel.New(sup, costmodel.SingleIndex)).View(canon)
+	defer func() {
+		if recover() == nil {
+			t.Error("View of a View did not panic")
+		}
+	}()
+	v.View(canon)
+}

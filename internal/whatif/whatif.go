@@ -105,20 +105,67 @@ type Optimizer struct {
 	flat *flatTables // New: interned flat tables
 	ref  *refTables  // NewReference: string-keyed maps
 
+	// ctr is shared between an optimizer and all its Views, so fleet-wide
+	// call accounting stays in one place no matter which tenant view probed.
+	ctr *optCounters
+
+	// canon, when non-nil, marks this optimizer as a tenant View over a
+	// shared cluster cache: canon[j] is the cluster-superset template that
+	// tenant-local query ID j corresponds to. Every probe canonicalizes its
+	// query first, so both the cache key and the source call use the
+	// superset identity (see View).
+	canon []workload.Query
+}
+
+// optCounters is the shared call accounting of an optimizer and its views.
+type optCounters struct {
 	calls     atomic.Int64
 	cacheHits atomic.Int64
 }
 
 // New wraps src in a caching optimizer backed by the flat interned tables.
 func New(src Source) *Optimizer {
-	return &Optimizer{src: src, in: workload.NewInterner(), flat: &flatTables{}}
+	return &Optimizer{src: src, in: workload.NewInterner(), flat: &flatTables{}, ctr: &optCounters{}}
 }
 
 // NewReference wraps src in a caching optimizer backed by the original
 // string-keyed maps. Semantically identical to New; kept as the differential
 // oracle and for A/B benchmarks.
 func NewReference(src Source) *Optimizer {
-	return &Optimizer{src: src, in: workload.NewInterner(), ref: newRefTables()}
+	return &Optimizer{src: src, in: workload.NewInterner(), ref: newRefTables(), ctr: &optCounters{}}
+}
+
+// View returns an optimizer that shares o's caches, interner, call counters
+// and source, but serves a tenant whose query templates are a SUBSET of the
+// shared (cluster-superset) template space: canon[j] must be the superset
+// template — carrying the superset query ID — that the tenant's query ID j
+// structurally equals (same table, kind and attribute set; frequency and
+// names are free). Every probe through the view substitutes the canonical
+// query before touching the cache or the source, so all member tenants of a
+// cluster read and write the same (superset template, index) entries with
+// identical values: per-execution what-if costs never read frequencies, which
+// is what makes subset-level reuse exact (cf. CoPhy's per-query/per-index
+// cost decomposition).
+//
+// Views must be built from the base optimizer, not from another view, and
+// MUST NOT be used with context-dependent sources (multi-index mode), whose
+// Invalidate patterns are tenant-specific.
+func (o *Optimizer) View(canon []workload.Query) *Optimizer {
+	if o.canon != nil {
+		panic("whatif: View of a View; build views from the base optimizer")
+	}
+	v := *o
+	v.canon = canon
+	return &v
+}
+
+// canonical maps q to its shared-cluster superset template when o is a View;
+// the identity otherwise.
+func (o *Optimizer) canonical(q workload.Query) workload.Query {
+	if o.canon != nil {
+		return o.canon[q.ID]
+	}
+	return q
 }
 
 // Source returns the wrapped cost source.
@@ -131,14 +178,15 @@ func (o *Optimizer) Interner() *workload.Interner { return o.in }
 
 // BaseCost returns f_j(0), cached per query.
 func (o *Optimizer) BaseCost(q workload.Query) float64 {
+	q = o.canonical(q)
 	if o.ref != nil {
 		return o.refBaseCost(q)
 	}
 	if c, ok := o.flat.baseGet(q.ID); ok {
-		o.cacheHits.Add(1)
+		o.ctr.cacheHits.Add(1)
 		return c
 	}
-	o.calls.Add(1)
+	o.ctr.calls.Add(1)
 	c := sanitizeCost(o.src.BaseCost(q))
 	o.flat.basePut(q.ID, c)
 	return c
@@ -149,11 +197,12 @@ func (o *Optimizer) BaseCost(q workload.Query) float64 {
 // mirroring the paper's observation that only coverable queries need
 // re-evaluation.
 func (o *Optimizer) CostWithIndex(q workload.Query, k workload.Index) float64 {
+	q = o.canonical(q)
 	if o.ref != nil {
 		return o.refCostWithIndex(q, k)
 	}
 	if !workload.Applicable(q, k) {
-		return o.BaseCost(q)
+		return o.baseCostCanonical(q)
 	}
 	return o.costWithInterned(q, k, o.in.Intern(k))
 }
@@ -161,23 +210,38 @@ func (o *Optimizer) CostWithIndex(q workload.Query, k workload.Index) float64 {
 // CostWithInterned is CostWithIndex for a pre-interned index: id must be
 // o.Interner()'s ID for k. Under the reference backend the id is ignored.
 func (o *Optimizer) CostWithInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
+	q = o.canonical(q)
 	if o.ref != nil {
 		return o.refCostWithIndex(q, k)
 	}
 	if !workload.Applicable(q, k) {
-		return o.BaseCost(q)
+		return o.baseCostCanonical(q)
 	}
 	return o.costWithInterned(q, k, id)
+}
+
+// baseCostCanonical is BaseCost for a query that is already canonical (flat
+// backend only); splitting it out keeps the applicability short-circuit from
+// canonicalizing twice.
+func (o *Optimizer) baseCostCanonical(q workload.Query) float64 {
+	if c, ok := o.flat.baseGet(q.ID); ok {
+		o.ctr.cacheHits.Add(1)
+		return c
+	}
+	o.ctr.calls.Add(1)
+	c := sanitizeCost(o.src.BaseCost(q))
+	o.flat.basePut(q.ID, c)
+	return c
 }
 
 func (o *Optimizer) costWithInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
 	key := pairKeyOf(q.ID, id)
 	shard := &o.flat.indexCache[shardOf(q.ID)]
 	if c, ok := shard.get(key); ok {
-		o.cacheHits.Add(1)
+		o.ctr.cacheHits.Add(1)
 		return c
 	}
-	o.calls.Add(1)
+	o.ctr.calls.Add(1)
 	c := sanitizeCost(o.src.CostWithIndex(q, k))
 	shard.put(q.ID, key, c)
 	return c
@@ -186,7 +250,8 @@ func (o *Optimizer) costWithInterned(q workload.Query, k workload.Index, id work
 // QueryCost returns f_j(I*). Whole-selection evaluations are not cached
 // (selections rarely repeat); each evaluation counts as one call.
 func (o *Optimizer) QueryCost(q workload.Query, sel workload.Selection) float64 {
-	o.calls.Add(1)
+	q = o.canonical(q)
+	o.ctr.calls.Add(1)
 	return sanitizeCost(o.src.QueryCost(q, sel))
 }
 
@@ -194,6 +259,7 @@ func (o *Optimizer) QueryCost(q workload.Query, sel workload.Selection) float64 
 // Maintenance estimates are catalog/structure formulas, not optimizer
 // plan evaluations, and are not counted as what-if calls.
 func (o *Optimizer) MaintenanceCost(q workload.Query, k workload.Index) float64 {
+	q = o.canonical(q)
 	if o.ref != nil {
 		return o.refMaintenanceCost(q, k)
 	}
@@ -205,6 +271,7 @@ func (o *Optimizer) MaintenanceCost(q workload.Query, k workload.Index) float64 
 
 // MaintenanceCostInterned is MaintenanceCost for a pre-interned index.
 func (o *Optimizer) MaintenanceCostInterned(q workload.Query, k workload.Index, id workload.IndexID) float64 {
+	q = o.canonical(q)
 	if o.ref != nil {
 		return o.refMaintenanceCost(q, k)
 	}
@@ -256,6 +323,7 @@ func (o *Optimizer) sizeInterned(k workload.Index, id workload.IndexID) int64 {
 // were made under. Under the flat backend this walks only q's recorded
 // entries (O(entries for q)); the reference backend scans its shard.
 func (o *Optimizer) Invalidate(q workload.Query) {
+	q = o.canonical(q)
 	var dropped int
 	if o.ref != nil {
 		dropped = o.refInvalidate(q)
@@ -273,8 +341,8 @@ func (o *Optimizer) Invalidate(q workload.Query) {
 // Stats returns a snapshot of the call counters and cache occupancy.
 func (o *Optimizer) Stats() Stats {
 	s := Stats{
-		Calls:           o.calls.Load(),
-		CacheHits:       o.cacheHits.Load(),
+		Calls:           o.ctr.calls.Load(),
+		CacheHits:       o.ctr.cacheHits.Load(),
 		InternedIndexes: o.in.Len(),
 	}
 	if o.ref != nil {
@@ -294,8 +362,8 @@ func (o *Optimizer) Stats() Stats {
 
 // ResetStats zeroes the call counters, keeping the caches.
 func (o *Optimizer) ResetStats() {
-	o.calls.Store(0)
-	o.cacheHits.Store(0)
+	o.ctr.calls.Store(0)
+	o.ctr.cacheHits.Store(0)
 }
 
 // NoisySource wraps a Source and perturbs every cost multiplicatively by a

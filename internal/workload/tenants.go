@@ -36,6 +36,65 @@ func PerturbFrequencies(w *Workload, seed int64, skew float64) (*Workload, error
 	return New(tables, attrs, queries)
 }
 
+// PerturbTemplates returns a near-clone of w: drop templates removed (chosen
+// uniformly), add fresh templates synthesized over w's schema, and all query
+// IDs re-densified. Unlike PerturbFrequencies the result is structurally
+// DIFFERENT from w — near-clone tenants land in separate exact clusters and
+// only share via near-match clustering (compress.ClusterNear), which is
+// precisely what fleet benches and tests need near-clone families for.
+// Synthesized templates are mostly selects with an occasional update, 1–3
+// attributes wide, drawn deterministically from seed. At least one template
+// always survives: drop is capped at len(w.Queries)-1.
+func PerturbTemplates(w *Workload, seed int64, drop, add int) (*Workload, error) {
+	if drop < 0 || add < 0 {
+		return nil, fmt.Errorf("workload: drop/add must be >= 0 (got %d/%d)", drop, add)
+	}
+	if drop >= len(w.Queries) {
+		drop = len(w.Queries) - 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	dropped := make(map[int]bool, drop)
+	for _, i := range r.Perm(len(w.Queries))[:drop] {
+		dropped[i] = true
+	}
+	queries := make([]Query, 0, len(w.Queries)-drop+add)
+	for i, q := range w.Queries {
+		if dropped[i] {
+			continue
+		}
+		q.ID = len(queries)
+		q.Attrs = append([]int(nil), q.Attrs...)
+		queries = append(queries, q)
+	}
+	for i := 0; i < add; i++ {
+		t := w.Tables[r.Intn(len(w.Tables))]
+		width := 1 + r.Intn(3)
+		if width > len(t.Attrs) {
+			width = len(t.Attrs)
+		}
+		attrs := make([]int, width)
+		for j, p := range r.Perm(len(t.Attrs))[:width] {
+			attrs[j] = t.Attrs[p]
+		}
+		kind := Select
+		if r.Float64() < 0.2 {
+			kind = Update
+		}
+		queries = append(queries, Query{
+			ID:    len(queries),
+			Table: t.ID,
+			Attrs: attrs,
+			Freq:  1 + r.Int63n(100),
+			Kind:  kind,
+		})
+	}
+	tables := make([]Table, len(w.Tables))
+	copy(tables, w.Tables)
+	attrs := make([]Attribute, w.NumAttrs())
+	copy(attrs, w.Attrs())
+	return New(tables, attrs, queries)
+}
+
 // TenantFamily derives n tenants from one base workload by frequency
 // perturbation: member i uses seed+i, so families are reproducible and
 // individual members can be regenerated in isolation. All members share the

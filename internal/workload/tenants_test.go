@@ -126,3 +126,123 @@ func TestTenantFamily(t *testing.T) {
 		}
 	}
 }
+
+func TestPerturbTemplates(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 10, 20
+	cfg.RowsBase = 10_000
+	w := MustGenerate(cfg)
+
+	p, err := PerturbTemplates(w, 7, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.NumQueries(), w.NumQueries()-3+2; got != want {
+		t.Fatalf("perturbed workload has %d queries, want %d", got, want)
+	}
+	if p.NumAttrs() != w.NumAttrs() || len(p.Tables) != len(w.Tables) {
+		t.Fatal("template perturbation changed the schema")
+	}
+	for i, q := range p.Queries {
+		if q.ID != i {
+			t.Fatalf("query IDs not re-densified: Queries[%d].ID = %d", i, q.ID)
+		}
+		if len(q.Attrs) == 0 {
+			t.Fatalf("query %d has no attributes", i)
+		}
+		for _, a := range q.Attrs {
+			if p.TableOf(a) != q.Table {
+				t.Fatalf("query %d accesses attr %d outside its table", i, a)
+			}
+		}
+	}
+}
+
+func TestPerturbTemplatesDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 8, 15
+	cfg.RowsBase = 5000
+	w := MustGenerate(cfg)
+
+	a, err := PerturbTemplates(w, 99, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PerturbTemplates(w, 99, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumQueries() != b.NumQueries() {
+		t.Fatalf("same seed produced %d vs %d queries", a.NumQueries(), b.NumQueries())
+	}
+	for i := range a.Queries {
+		qa, qb := a.Queries[i], b.Queries[i]
+		if qa.Table != qb.Table || qa.Kind != qb.Kind || qa.Freq != qb.Freq || len(qa.Attrs) != len(qb.Attrs) {
+			t.Fatalf("query %d differs across same-seed runs", i)
+		}
+		for j := range qa.Attrs {
+			if qa.Attrs[j] != qb.Attrs[j] {
+				t.Fatalf("query %d attrs differ across same-seed runs", i)
+			}
+		}
+	}
+	c, err := PerturbTemplates(w, 100, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := c.NumQueries() == a.NumQueries()
+	if same {
+		diff := false
+		for i := range a.Queries {
+			if len(a.Queries[i].Attrs) != len(c.Queries[i].Attrs) || a.Queries[i].Freq != c.Queries[i].Freq {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical perturbations")
+		}
+	}
+}
+
+func TestPerturbTemplatesEdgeCases(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 1, 6, 4
+	cfg.RowsBase = 1000
+	w := MustGenerate(cfg)
+
+	if _, err := PerturbTemplates(w, 1, -1, 0); err == nil {
+		t.Error("negative drop accepted")
+	}
+	if _, err := PerturbTemplates(w, 1, 0, -1); err == nil {
+		t.Error("negative add accepted")
+	}
+	// Dropping more templates than exist keeps at least one.
+	p, err := PerturbTemplates(w, 1, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumQueries() != 1 {
+		t.Errorf("over-drop left %d queries, want 1", p.NumQueries())
+	}
+}
+
+func TestFootprintBytes(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Tables, cfg.AttrsPerTable, cfg.QueriesPerTable = 2, 10, 20
+	cfg.RowsBase = 5000
+	small := MustGenerate(cfg)
+	cfg.QueriesPerTable = 200
+	big := MustGenerate(cfg)
+
+	sb, bb := small.FootprintBytes(), big.FootprintBytes()
+	if sb <= 0 || bb <= 0 {
+		t.Fatalf("non-positive footprints: %d, %d", sb, bb)
+	}
+	if bb <= sb {
+		t.Errorf("10x queries did not grow footprint: %d vs %d", sb, bb)
+	}
+	if again := small.FootprintBytes(); again != sb {
+		t.Errorf("footprint not deterministic: %d vs %d", sb, again)
+	}
+}

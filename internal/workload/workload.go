@@ -330,6 +330,41 @@ func (w *Workload) TotalFreq() int64 {
 	return total
 }
 
+// FootprintBytes is a deterministic estimate of the heap bytes a resident
+// Workload retains: tables, attributes, queries (attribute lists and access
+// bitsets included) and the inverted attribute->query indexes. Like
+// whatif.TableBytes it is an accounting measure, not measured RSS — the
+// streaming fleet's resident-workload gauge and its bench guard use the same
+// estimator on both sides of the comparison.
+func (w *Workload) FootprintBytes() int64 {
+	const (
+		tableBytes = 64 // Table struct + slice/string headers
+		attrBytes  = 48 // Attribute struct incl. name header
+		queryBytes = 96 // Query struct incl. slice headers
+		sliceHdr   = 24
+	)
+	b := int64(len(w.Tables)) * tableBytes
+	for _, t := range w.Tables {
+		b += int64(len(t.Attrs))*8 + int64(len(t.Name))
+	}
+	b += int64(len(w.attrs)) * attrBytes
+	for _, a := range w.attrs {
+		b += int64(len(a.Name))
+	}
+	b += int64(len(w.attrTable)) * 8
+	b += int64(len(w.Queries)) * queryBytes
+	for _, q := range w.Queries {
+		b += int64(len(q.Attrs))*8 + int64(len(q.aset))*8
+	}
+	for _, ids := range w.attrQueries {
+		b += sliceHdr + int64(len(ids))*4
+	}
+	for _, ids := range w.attrReadQueries {
+		b += sliceHdr + int64(len(ids))*4
+	}
+	return b
+}
+
 // QueriesWithAttr returns the IDs (ascending) of all queries accessing
 // global attribute id, Inserts included. The slice is shared; callers must
 // not modify it.
