@@ -14,6 +14,14 @@
 //	indexadvisor -workload w.json -explain -trace-out run.jsonl -json
 //	indexadvisor explain -journal run.jsonl
 //	indexadvisor -fleet fleetdir -fleet-workers 4 -fleet-table-budget 1000000
+//	indexadvisor serve -schema w.json -dir journaldir -addr :7080
+//	indexadvisor serve -schema w.json -dir journaldir -resume
+//
+// `serve` runs the guardrailed online tuning daemon: POST /observe ingests
+// batched query observations into a decay-weighted window, drift against the
+// tuned baseline triggers a deadline-bounded re-selection, and accepted
+// creates/drops deltas are applied through a crash-safe fsync'd rollback
+// journal (-resume replays it after a crash). See cmd/indexadvisor/serve.go.
 //
 // -fleet tunes a whole multi-tenant fleet in one run (see cmd/workloadgen
 // -tenants for generating one): tenants whose workloads are structural twins
@@ -90,6 +98,10 @@ func main() {
 	log.SetPrefix("indexadvisor: ")
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		runExplain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 	var (

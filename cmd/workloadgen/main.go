@@ -15,15 +15,28 @@
 //
 //	workloadgen -tenants 16 -clusters 4 -skew 0.7 -out fleetdir
 //	indexadvisor -fleet fleetdir
+//
+// Drift mode emits a phased JSONL observation stream instead of a workload:
+// each phase replays the current workload's templates as aggregated
+// observations (the wire format of `indexadvisor serve`'s POST /observe),
+// then perturbs the template set before the next phase, so the stream drifts
+// the way the paper's Section VII scenario does. Timestamps advance by
+// -drift-interval per phase from the fixed -drift-start, making streams
+// reproducible byte-for-byte:
+//
+//	workloadgen -kind erp -drift 4 -drift-perturb 3 > stream.jsonl
+//	curl --data-binary @stream.jsonl http://127.0.0.1:7080/observe
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	indexsel "repro"
 )
@@ -60,8 +73,31 @@ func main() {
 		skew       = flag.Float64("skew", 0.5, "fleet mode: log-normal frequency perturbation within a cluster (0 = identical frequencies)")
 		perturb    = flag.Int("perturb", 0, "fleet mode: drop and add this many query templates per tenant, turning cluster members into near-clones (pair with indexadvisor -fleet-near-match)")
 		outDir     = flag.String("out", "", "fleet mode: directory for per-tenant workloads + manifest.json")
+
+		drift         = flag.Int("drift", 0, "drift mode: emit this many phases of JSONL observations (indexadvisor serve wire format) instead of a workload")
+		driftPerturb  = flag.Int("drift-perturb", 3, "drift mode: query templates dropped and added between phases")
+		driftInterval = flag.Duration("drift-interval", time.Hour, "drift mode: timestamp gap between phases")
+		driftStart    = flag.String("drift-start", "2026-01-01T00:00:00Z", "drift mode: RFC 3339 timestamp of the first phase")
 	)
 	flag.Parse()
+
+	if *drift > 0 {
+		start, err := time.Parse(time.RFC3339, *driftStart)
+		if err != nil {
+			log.Fatalf("bad -drift-start: %v", err)
+		}
+		if *driftPerturb < 0 {
+			log.Fatalf("-drift-perturb must be >= 0, got %d", *driftPerturb)
+		}
+		w, err := genBase(*kind, *tables, *attrs, *queries, *rows, *warehouses, *scale)(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := emitDriftStream(os.Stdout, w, *drift, *driftPerturb, *driftInterval, start, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *tenants != 0 {
 		if *outDir == "" {
@@ -208,6 +244,46 @@ func generateFleet(n, k int, skew float64, perturb int, seed int64, dir string, 
 		return err
 	}
 	log.Printf("wrote %d tenants in %d clusters to %s", len(m.Tenants), k, dir)
+	return nil
+}
+
+// emitDriftStream writes phases of JSONL observations: phase p replays every
+// query template of the current workload as one aggregated observation
+// (count = frequency) stamped start + p*interval, then perturbs the template
+// set cumulatively for the next phase. The stream is deterministic in
+// (workload, seed, start): identical flags reproduce identical bytes, so
+// recorded daemon runs replay bit-identically.
+func emitDriftStream(out io.Writer, base *indexsel.Workload, phases, perturb int, interval time.Duration, start time.Time, seed int64) error {
+	enc := json.NewEncoder(out)
+	cur := base
+	for p := 0; p < phases; p++ {
+		if p > 0 && perturb > 0 {
+			var err error
+			cur, err = indexsel.PerturbTemplates(cur, seed+100+int64(p), perturb, perturb)
+			if err != nil {
+				return fmt.Errorf("phase %d perturb: %w", p, err)
+			}
+		}
+		attrName := make(map[int]string, cur.NumAttrs())
+		for _, a := range cur.Attrs() {
+			attrName[a.ID] = a.Name
+		}
+		at := start.Add(time.Duration(p) * interval)
+		for _, q := range cur.Queries {
+			obs := indexsel.Observation{
+				Table: cur.Tables[q.Table].Name,
+				Kind:  q.Kind.String(),
+				Count: q.Freq,
+				At:    at,
+			}
+			for _, a := range q.Attrs {
+				obs.Attrs = append(obs.Attrs, attrName[a])
+			}
+			if err := enc.Encode(obs); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

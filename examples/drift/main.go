@@ -1,18 +1,28 @@
-// Drift example: the paper's future-work scenario (Section VII). The schema
-// stays fixed while the query workload drifts across phases; the advisor
-// re-tunes at every phase. Three policies are compared:
+// Drift example: the paper's future-work scenario (Section VII) on the
+// delta-plan API. The schema stays fixed while the query workload drifts
+// across phases; each phase is re-planned with Advisor.PlanDelta, which
+// returns a creates/drops delta against the deployed configuration together
+// with a never-regress guardrail verdict. Three policies are compared:
 //
-//   - static:      tune once on phase 1 and keep that configuration;
-//   - eager:       re-tune every phase ignoring reconfiguration costs
+//   - static:         plan once on phase 1 and keep that configuration;
+//   - eager:          re-plan every phase ignoring reconfiguration costs
 //     (maximum quality, maximum churn);
-//   - reconfig-aware: re-tune with R(I*, I-bar*) charged per created byte,
+//   - reconfig-aware: re-plan with a per-created-byte reconfiguration charge,
 //     so an index is only rebuilt when its benefit outweighs the build cost.
 //
-// Reported per phase: workload cost (relative to no indexes) and churn
-// (indexes created + dropped versus the previous configuration).
+// Phases 2 and 3 drift mildly (a handful of templates swapped per phase);
+// phase 4 is a shock — the query set is resampled wholesale. Reported per
+// phase and policy: workload cost relative to no indexes, churn (creates +
+// drops the delta plan applied), and the guardrail verdict ("ok", or "rej:N"
+// when N protected heavy queries would regress beyond epsilon — in which
+// case the delta is NOT applied and the deployed set stands). The shock
+// phase shows the guardrail doing its job: the freshly optimized target
+// would sacrifice individual heavy queries for total cost, so the delta is
+// vetoed and the incumbent configuration keeps serving.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,108 +38,94 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Four phases of drifting queries over the same schema.
+	// Four phases over the same schema: two mild cumulative drifts, then a
+	// wholesale resample as the shock phase.
 	phases := []*indexsel.Workload{base}
-	for seed := int64(2); seed <= 4; seed++ {
-		p, err := indexsel.ResampleQueries(base, cfg, seed)
+	cur := base
+	for seed := int64(102); seed <= 103; seed++ {
+		p, err := indexsel.PerturbTemplates(cur, seed, 10, 10)
 		if err != nil {
 			log.Fatal(err)
 		}
 		phases = append(phases, p)
+		cur = p
 	}
+	shock, err := indexsel.ResampleQueries(base, cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phases = append(phases, shock)
 
 	type policy struct {
-		name  string
-		runup func(phase int, w *indexsel.Workload, prev indexsel.Selection) (indexsel.Selection, error)
+		name string
+		// opts builds the phase's DeltaOptions; a nil plan request (static
+		// after phase 1) keeps the deployed configuration untouched.
+		opts func(phase int) *indexsel.DeltaOptions
 	}
-	tune := func(w *indexsel.Workload, prev indexsel.Selection, chargeReconfig bool) (indexsel.Selection, error) {
-		var opts []indexsel.Option
-		opts = append(opts, indexsel.WithBudgetShare(0.25))
-		if chargeReconfig {
-			adv0 := indexsel.NewAdvisor(w) // sizes only
-			opts = append(opts, indexsel.WithExtendOptions(indexsel.ExtendOptions{
-				Reconfig: func(sel indexsel.Selection) float64 {
-					var r float64
-					for key, k := range sel {
-						if _, ok := prev[key]; !ok {
-							_, mem := adv0.Evaluate(indexsel.Selection{key: k})
-							// Build cost per byte, in workload-traffic units. The
-							// workload cost is frequency-weighted memory traffic
-							// over the whole recorded period, so a meaningful
-							// charge is thousands of traffic-bytes per index byte
-							// (the build amortizes over the period).
-							r += 5e3 * float64(mem)
-						}
-					}
-					return r
-				},
-			}))
+	// The workload cost is frequency-weighted memory traffic over the whole
+	// recorded period, so a meaningful build charge is thousands of
+	// traffic-bytes per index byte (the build amortizes over the period).
+	reconfig := func(phase int) *indexsel.DeltaOptions {
+		o := &indexsel.DeltaOptions{}
+		if phase > 0 {
+			o.ReconfigPerByte = 5e3
 		}
-		adv := indexsel.NewAdvisor(w, opts...)
-		rec, err := adv.Select(indexsel.StrategyExtend)
-		if err != nil {
-			return nil, err
-		}
-		return rec.Selection(), nil
+		return o
 	}
 	policies := []policy{
-		{"static", func(phase int, w *indexsel.Workload, prev indexsel.Selection) (indexsel.Selection, error) {
+		{"static", func(phase int) *indexsel.DeltaOptions {
 			if phase == 0 {
-				return tune(w, prev, false)
+				return &indexsel.DeltaOptions{}
 			}
-			return prev, nil
+			return nil
 		}},
-		{"eager", func(_ int, w *indexsel.Workload, prev indexsel.Selection) (indexsel.Selection, error) {
-			return tune(w, prev, false)
-		}},
-		{"reconfig-aware", func(phase int, w *indexsel.Workload, prev indexsel.Selection) (indexsel.Selection, error) {
-			// The initial build is a given; charges apply to re-tuning only.
-			return tune(w, prev, phase > 0)
-		}},
+		{"eager", func(int) *indexsel.DeltaOptions { return &indexsel.DeltaOptions{} }},
+		{"reconfig-aware", reconfig},
 	}
 
-	fmt.Printf("%-16s", "phase")
+	fmt.Printf("%-10s", "phase")
 	for _, p := range policies {
-		fmt.Printf("  %-22s", p.name)
+		fmt.Printf("  %-28s", p.name)
 	}
-	fmt.Printf("\n%-16s", "")
+	fmt.Printf("\n%-10s", "")
 	for range policies {
-		fmt.Printf("  %-10s %-11s", "cost_rel", "churn")
+		fmt.Printf("  %-9s %-6s %-10s", "cost_rel", "churn", "guardrail")
 	}
 	fmt.Println()
 
-	prev := make([]indexsel.Selection, len(policies))
-	for i := range prev {
-		prev[i] = indexsel.Selection{}
+	deployed := make([]indexsel.Selection, len(policies))
+	for i := range deployed {
+		deployed[i] = indexsel.Selection{}
 	}
 	for phase, w := range phases {
-		adv := indexsel.NewAdvisor(w) // evaluation only
+		adv := indexsel.NewAdvisor(w, indexsel.WithBudgetShare(0.25))
 		baseCost, _ := adv.Evaluate(indexsel.Selection{})
-		fmt.Printf("%-16s", fmt.Sprintf("phase %d", phase+1))
+		fmt.Printf("%-10s", fmt.Sprintf("phase %d", phase+1))
 		for pi, p := range policies {
-			sel, err := p.runup(phase, w, prev[pi])
-			if err != nil {
-				log.Fatal(err)
-			}
-			cost, _ := adv.Evaluate(sel)
 			churn := 0
-			for key := range sel {
-				if _, ok := prev[pi][key]; !ok {
-					churn++
+			verdict := "-"
+			if o := p.opts(phase); o != nil {
+				plan, err := adv.PlanDelta(context.Background(), deployed[pi], *o)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if plan.Accepted {
+					verdict = "ok"
+					next, _ := indexsel.ApplyDeltaPlan(deployed[pi], plan)
+					churn = len(plan.Creates) + len(plan.Drops)
+					deployed[pi] = next
+				} else {
+					verdict = fmt.Sprintf("rej:%d", len(plan.Guardrail.Violations))
 				}
 			}
-			for key := range prev[pi] {
-				if _, ok := sel[key]; !ok {
-					churn++
-				}
-			}
-			prev[pi] = sel
-			fmt.Printf("  %-10.5f %-11d", cost/baseCost, churn)
+			cost, _ := adv.Evaluate(deployed[pi])
+			fmt.Printf("  %-9.5f %-6d %-10s", cost/baseCost, churn, verdict)
 		}
 		fmt.Println()
 	}
 
-	fmt.Println("\nExpected shape: static degrades as the workload drifts; eager stays")
-	fmt.Println("best but rebuilds many indexes per phase; reconfig-aware tracks eager's")
-	fmt.Println("quality with a fraction of the churn.")
+	fmt.Println("\nExpected shape: static degrades as the workload drifts while the")
+	fmt.Println("re-planning policies track it with bounded churn; on the shock phase")
+	fmt.Println("the guardrail rejects the re-tuned target (it would regress protected")
+	fmt.Println("heavy queries) and the deployed configuration stands.")
 }

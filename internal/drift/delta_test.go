@@ -1,0 +1,277 @@
+package drift
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func erpWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.GenerateERP(workload.ERPConfig{
+		Tables: 4, TotalAttrs: 30, Queries: 40, Seed: 11,
+		MinRows: 1000, MaxRows: 200000, TotalExecutions: 100000,
+	})
+	if err != nil {
+		t.Fatalf("GenerateERP: %v", err)
+	}
+	return w
+}
+
+func tpccWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.TPCC(10)
+	if err != nil {
+		t.Fatalf("TPCC: %v", err)
+	}
+	return w
+}
+
+func optimizerFor(w *workload.Workload, reference bool) *whatif.Optimizer {
+	src := costmodel.New(w, costmodel.SingleIndex)
+	if reference {
+		return whatif.NewReference(src)
+	}
+	return whatif.New(src)
+}
+
+// driftStream streams the workload through a window in phases, perturbing
+// templates between phases, and returns the per-phase snapshots.
+func driftStream(t *testing.T, base *workload.Workload, phases int) []*workload.Workload {
+	t.Helper()
+	win := NewWindow(base, WindowConfig{HalfLife: time.Hour, Cap: 512})
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	cur := base
+	var snaps []*workload.Workload
+	for p := 0; p < phases; p++ {
+		if p > 0 {
+			next, err := workload.PerturbTemplates(cur, int64(100+p), 3, 3)
+			if err != nil {
+				t.Fatalf("phase %d perturb: %v", p, err)
+			}
+			cur = next
+			at = at.Add(4 * time.Hour) // several half-lives: old phase fades
+		}
+		for _, obs := range obsFor(base, cur.Queries...) {
+			if err := win.Observe(obs, at); err != nil {
+				t.Fatalf("phase %d observe: %v", p, err)
+			}
+		}
+		snap := win.Snapshot(at)
+		if snap == nil {
+			t.Fatalf("phase %d: nil snapshot", p)
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps
+}
+
+// TestPlanDeltaGuardrailProperty is the acceptance-criteria property test:
+// on ERP and TPC-C drift streams, against both the flat and reference
+// what-if backends, every accepted delta leaves each heavy query within
+// (1+epsilon) of its deployed cost, and every rejected delta names its
+// violating queries.
+func TestPlanDeltaGuardrailProperty(t *testing.T) {
+	workloads := map[string]func(*testing.T) *workload.Workload{
+		"erp":  erpWorkload,
+		"tpcc": tpccWorkload,
+	}
+	for name, gen := range workloads {
+		for _, reference := range []bool{false, true} {
+			backend := "flat"
+			if reference {
+				backend = "reference"
+			}
+			t.Run(name+"/"+backend, func(t *testing.T) {
+				base := gen(t)
+				snaps := driftStream(t, base, 3)
+				deployed := workload.Selection{}
+				for p, snap := range snaps {
+					opt := optimizerFor(snap, reference)
+					budget := costmodel.New(snap, costmodel.SingleIndex).Budget(0.5)
+					plan, err := PlanDelta(context.Background(), snap, opt, deployed, PlanOptions{
+						Budget:  budget,
+						Epsilon: 0.05,
+						HeavyK:  8,
+					})
+					if err != nil {
+						t.Fatalf("phase %d PlanDelta: %v", p, err)
+					}
+					checkPlanInvariants(t, p, plan, deployed)
+					if plan.Accepted {
+						// The never-regress property, re-derived from raw
+						// what-if calls rather than trusting the report.
+						for _, hq := range plan.Guardrail.Queries {
+							q := snap.Queries[hq.Query]
+							dep := queryCost(opt, q, deployed)
+							got := queryCost(opt, q, plan.Target)
+							if got > dep*(1+plan.Guardrail.Epsilon)+1e-9*math.Max(1, dep) {
+								t.Fatalf("phase %d: accepted delta regresses heavy query %d: %g -> %g",
+									p, hq.Query, dep, got)
+							}
+						}
+						deployed = plan.Target
+					} else {
+						if len(plan.Guardrail.Violations) == 0 {
+							t.Fatalf("phase %d: rejected plan without violations", p)
+						}
+						for _, id := range plan.Guardrail.Violations {
+							found := false
+							for _, hq := range plan.Guardrail.Queries {
+								if hq.Query == id && hq.Violation {
+									found = true
+								}
+							}
+							if !found {
+								t.Fatalf("phase %d: violation %d missing from evidence", p, id)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func checkPlanInvariants(t *testing.T, phase int, plan *Plan, deployed workload.Selection) {
+	t.Helper()
+	// Creates/drops must exactly reconcile deployed into target.
+	recon := deployed.Clone()
+	for _, k := range plan.Drops {
+		if !recon.Remove(k) {
+			t.Fatalf("phase %d: drop of non-deployed index %s", phase, k.Key())
+		}
+	}
+	for _, k := range plan.Creates {
+		if !recon.Add(k) {
+			t.Fatalf("phase %d: create of already-present index %s", phase, k.Key())
+		}
+	}
+	if len(recon) != len(plan.Target) {
+		t.Fatalf("phase %d: delta does not reconcile: %d vs %d indexes", phase, len(recon), len(plan.Target))
+	}
+	for key := range plan.Target {
+		if _, ok := recon[key]; !ok {
+			t.Fatalf("phase %d: reconciled set missing %s", phase, key)
+		}
+	}
+	// Sorted order.
+	for i := 1; i < len(plan.Creates); i++ {
+		if plan.Creates[i-1].Key() >= plan.Creates[i].Key() {
+			t.Fatalf("phase %d: creates not sorted", phase)
+		}
+	}
+	for i := 1; i < len(plan.Drops); i++ {
+		if plan.Drops[i-1].Key() >= plan.Drops[i].Key() {
+			t.Fatalf("phase %d: drops not sorted", phase)
+		}
+	}
+	if plan.Guardrail == nil || len(plan.Guardrail.Queries) == 0 {
+		t.Fatalf("phase %d: missing guardrail evidence", phase)
+	}
+}
+
+// TestPlanDeltaRejectsWriteRegression pins the DBA-bandits scenario: with a
+// near-zero epsilon and a write-heavy workload, indexing regresses writes
+// (maintenance cost) and the guardrail must reject the delta, naming the
+// violating query.
+func TestPlanDeltaRejectsWriteRegression(t *testing.T) {
+	// A mixed read/write workload: any index created on a table with
+	// inserts strictly regresses those inserts (maintenance cost).
+	w, err := workload.Generate(workload.GenConfig{
+		Tables: 2, AttrsPerTable: 6, QueriesPerTable: 8,
+		Seed: 3, RowsBase: 100000, MaxQueryAttrs: 3, MaxFreq: 100,
+		WriteShare: 0.4,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	opt := optimizerFor(w, false)
+	budget := costmodel.New(w, costmodel.SingleIndex).Budget(0.5)
+	plan, err := PlanDelta(context.Background(), w, opt, workload.Selection{}, PlanOptions{
+		Budget:  budget,
+		Epsilon: 1e-12,
+		HeavyK:  len(w.Queries),
+	})
+	if err != nil {
+		t.Fatalf("PlanDelta: %v", err)
+	}
+	if plan.Empty() {
+		t.Skip("selection chose no indexes; nothing to regress")
+	}
+	if plan.Accepted {
+		t.Fatal("near-zero epsilon accepted a delta on a write-heavy workload")
+	}
+	if len(plan.Guardrail.Violations) == 0 {
+		t.Fatal("rejected plan carries no violating query")
+	}
+	// Violating queries must be writes (selects can only improve under the
+	// single-index model when indexes are added to an empty deployed set).
+	for _, id := range plan.Guardrail.Violations {
+		if !w.Queries[id].IsWrite() {
+			t.Fatalf("violating query %d is a read", id)
+		}
+	}
+}
+
+// TestPlanDeltaAnytime: a cancelled context still yields a valid (partial)
+// plan; PlanDelta never errors on deadline/cancel.
+func TestPlanDeltaAnytime(t *testing.T) {
+	w := erpWorkload(t)
+	opt := optimizerFor(w, false)
+	budget := costmodel.New(w, costmodel.SingleIndex).Budget(0.5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: selection must stop immediately, best-so-far
+	plan, err := PlanDelta(ctx, w, opt, workload.Selection{}, PlanOptions{Budget: budget})
+	if err != nil {
+		t.Fatalf("PlanDelta under cancelled ctx: %v", err)
+	}
+	if !plan.Partial {
+		t.Fatal("cancelled ctx produced a non-partial plan")
+	}
+	if plan.Guardrail == nil {
+		t.Fatal("partial plan missing guardrail evidence")
+	}
+}
+
+// TestPlanDeltaLowChurn: the reconfiguration charge biases re-planning
+// toward the deployed set — with a huge per-byte cost, planning against a
+// previously selected deployment must produce zero creates.
+func TestPlanDeltaLowChurn(t *testing.T) {
+	w := erpWorkload(t)
+	opt := optimizerFor(w, false)
+	budget := costmodel.New(w, costmodel.SingleIndex).Budget(0.5)
+	first, err := PlanDelta(context.Background(), w, opt, workload.Selection{}, PlanOptions{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Empty() {
+		t.Skip("no indexes selected")
+	}
+	second, err := PlanDelta(context.Background(), w, opt, first.Target, PlanOptions{
+		Budget:          budget,
+		ReconfigPerByte: 1e12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Creates) != 0 {
+		t.Fatalf("prohibitive reconfig cost still created %d indexes", len(second.Creates))
+	}
+}
+
+func TestPlanDeltaValidation(t *testing.T) {
+	w := erpWorkload(t)
+	opt := optimizerFor(w, false)
+	if _, err := PlanDelta(context.Background(), nil, opt, nil, PlanOptions{Budget: 1}); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+	if _, err := PlanDelta(context.Background(), w, opt, nil, PlanOptions{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 
 	"repro/internal/telemetry"
+	"repro/internal/whatif"
 )
 
 var (
@@ -19,6 +22,8 @@ var (
 		"Cost-table caches restored from a spill file on re-pin instead of rebuilding from the source.")
 	mSpilled = telemetry.Default().Gauge("indexsel_fleet_table_spilled_bytes",
 		"Cost-table bytes currently parked in spill files on disk.")
+	mSpillCorrupt = telemetry.Default().Counter("indexsel_fleet_spill_corrupt_total",
+		"Spill files rejected as corrupt (checksum, truncation, bad magic) on restore; the cache was evicted and rebuilt from its source.")
 )
 
 // Evictable is the cache contract the budget manages: report retained bytes,
@@ -64,13 +69,14 @@ type TableBudget struct {
 	spillDir string
 	entries  map[Evictable]*budgetEntry
 
-	resident    int64 // retained bytes across unpinned entries
-	maxResident int64
-	evictions   int64
-	spills      int64
-	restores    int64
-	spillErrs   int64
-	onDisk      int64 // bytes currently parked in spill files
+	resident     int64 // retained bytes across unpinned entries
+	maxResident  int64
+	evictions    int64
+	spills       int64
+	restores     int64
+	spillErrs    int64
+	spillCorrupt int64 // subset of spillErrs: restores rejected as corrupt
+	onDisk       int64 // bytes currently parked in spill files
 }
 
 type budgetEntry struct {
@@ -131,6 +137,15 @@ func (b *TableBudget) Pin(e Evictable) {
 			mRestores.Inc()
 		} else {
 			b.spillErrs++
+			if errors.Is(err, whatif.ErrSpillCorrupt) {
+				b.spillCorrupt++
+				mSpillCorrupt.Inc()
+			}
+			// Degrade, never fail: drop anything a malformed file may have
+			// merged and delete the unusable file; the cache read-throughs
+			// from its deterministic source on demand.
+			e.EvictTables()
+			os.Remove(ent.spillPath)
 		}
 		b.onDisk -= ent.spillSize
 		mSpilled.Set(float64(b.onDisk))
@@ -230,4 +245,13 @@ func (b *TableBudget) SpillStats() (spills, restores, errs int64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.spills, b.restores, b.spillErrs
+}
+
+// CorruptSpills reports how many restores were rejected because the spill
+// file failed structural verification (a subset of SpillStats errs). Each one
+// degraded to an evict-and-rebuild, never a wrong cost.
+func (b *TableBudget) CorruptSpills() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spillCorrupt
 }

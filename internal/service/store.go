@@ -1,0 +1,594 @@
+// Package service hosts the online tuning daemon: the crash-safe rollback
+// journal (Store) that makes index-configuration deltas atomic across
+// process kills, and the HTTP daemon (Daemon) that ingests query
+// observations, detects drift, and applies guardrailed delta plans.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/drift"
+)
+
+// Journal record types.
+const (
+	// RecIntent declares a delta about to be applied: prev set, next set,
+	// creates/drops, and the guardrail evidence. Written and fsync'd
+	// BEFORE any state change.
+	RecIntent = "intent"
+	// RecCommit marks an intent fully applied. An intent without a commit
+	// is rolled back on recovery.
+	RecCommit = "commit"
+	// RecRollback marks an intent undone (by recovery).
+	RecRollback = "rollback"
+	// RecReject records a guardrail-rejected delta with the violating
+	// queries; nothing was applied.
+	RecReject = "reject"
+	// RecFailure records a re-selection failure (error, panic, deadline
+	// overrun treated as error by the caller); nothing was applied.
+	RecFailure = "failure"
+)
+
+// Record is one journal entry. Index sets are canonical sorted key strings
+// (workload.Index.Key), so records are schema-independent and byte-stable.
+type Record struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"`
+	At   string `json:"at,omitempty"` // RFC3339Nano, from the injected clock
+
+	// Intent fields.
+	Prev      []string               `json:"prev,omitempty"`
+	Next      []string               `json:"next,omitempty"`
+	Creates   []string               `json:"creates,omitempty"`
+	Drops     []string               `json:"drops,omitempty"`
+	Guardrail *drift.GuardrailReport `json:"guardrail,omitempty"`
+
+	// Commit/rollback reference their intent.
+	Intent int64 `json:"intent,omitempty"`
+
+	// Failure fields; PanicOp/PanicValue are set for worker panics
+	// (fault.WorkerPanicError) so chaos runs are diagnosable post-mortem.
+	Err        string `json:"err,omitempty"`
+	PanicOp    string `json:"panic_op,omitempty"`
+	PanicValue string `json:"panic_value,omitempty"`
+}
+
+// stateOp is one line of the state file: the deployed-set mutation log.
+type stateOp struct {
+	Do  string `json:"do"` // "create" | "drop"
+	Key string `json:"key"`
+}
+
+// ErrJournalCorrupt marks unrecoverable journal/state damage: a checksum or
+// parse failure before the final line (torn tails are tolerated and
+// truncated), or a replayed state that contradicts the journal.
+var ErrJournalCorrupt = errors.New("service: journal corrupt")
+
+// Store is the crash-safe record of the deployed index configuration. Two
+// append-only JSONL files live in its directory:
+//
+//	journal.jsonl — intent/commit/rollback/reject/failure records
+//	state.jsonl   — create/drop operations actually applied
+//
+// Every line is an envelope {"rec":<record>,"sum":"<fnv64a hex>"} whose
+// checksum covers the raw record bytes (the WIFSPIL1 discipline: verify
+// before trusting). Apply protocol: fsync the intent, apply ops one at a
+// time (each fsync'd), fsync the commit. Recovery rolls back any intent
+// without a commit, so the deployed set is always bit-identical to either
+// full-rollback or full-apply — never a torn state.
+//
+// Store is not safe for concurrent use; the daemon serializes access.
+type Store struct {
+	dir     string
+	journal *os.File
+	state   *os.File
+	clock   func() time.Time
+
+	seq      int64
+	deployed map[string]bool
+	pending  *Record // intent awaiting commit (only during ApplyDelta)
+}
+
+// envelope is the on-disk line format.
+type envelope struct {
+	Rec json.RawMessage `json:"rec"`
+	Sum string          `json:"sum"`
+}
+
+func checksum(b []byte) string {
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Open opens (creating if needed) a store in dir. The caller must call
+// Recover before applying deltas; Open itself only opens the files and
+// counts existing records.
+func Open(dir string, clock func() time.Time) (*Store, error) {
+	if clock == nil {
+		clock = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	j, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.OpenFile(filepath.Join(dir, "state.jsonl"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return &Store{dir: dir, journal: j, state: st, clock: clock, deployed: map[string]bool{}}, nil
+}
+
+// Close closes the underlying files.
+func (s *Store) Close() error {
+	err1 := s.journal.Close()
+	err2 := s.state.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Empty reports whether the journal holds no records (fresh store).
+func (s *Store) Empty() (bool, error) {
+	fi, err := s.journal.Stat()
+	if err != nil {
+		return false, err
+	}
+	return fi.Size() == 0, nil
+}
+
+// Deployed returns the recovered deployed set as sorted index keys.
+func (s *Store) Deployed() []string {
+	keys := make([]string, 0, len(s.deployed))
+	for k := range s.deployed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// writeLine appends one checksummed envelope line to f and fsyncs it.
+func writeLine(f *os.File, rec any) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(envelope{Rec: raw, Sum: checksum(raw)})
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := f.Write(line); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// readLines reads every checksummed line of f into out (a pointer to a
+// slice via the decode callback). A torn or corrupt FINAL line — the
+// signature of a crash mid-write — is truncated away and reported via
+// torn; damage before the final line is ErrJournalCorrupt.
+func readLines(f *os.File, decode func(raw json.RawMessage) error) (torn bool, err error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return false, err
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		return false, err
+	}
+	off := 0
+	for off < len(data) {
+		nl := -1
+		for i := off; i < len(data); i++ {
+			if data[i] == '\n' {
+				nl = i
+				break
+			}
+		}
+		line := data[off:]
+		end := len(data)
+		if nl >= 0 {
+			line = data[off:nl]
+			end = nl + 1
+		}
+		bad := nl < 0 // no trailing newline: torn write
+		var env envelope
+		if !bad {
+			if e := json.Unmarshal(line, &env); e != nil || checksum(env.Rec) != env.Sum {
+				bad = true
+			} else if e := decode(env.Rec); e != nil {
+				bad = true
+			}
+		}
+		if bad {
+			if end != len(data) {
+				return false, fmt.Errorf("%w: %s: damaged line at offset %d is not the final line", ErrJournalCorrupt, filepath.Base(f.Name()), off)
+			}
+			// Torn tail: drop it.
+			if err := f.Truncate(int64(off)); err != nil {
+				return false, err
+			}
+			if _, err := f.Seek(int64(off), 0); err != nil {
+				return false, err
+			}
+			if err := f.Sync(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		off = end
+	}
+	if _, err := f.Seek(int64(len(data)), 0); err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// RecoveryReport summarizes what Recover found and did.
+type RecoveryReport struct {
+	// Records is the number of intact journal records replayed.
+	Records int `json:"records"`
+	// Deployed is the recovered deployed set (sorted keys).
+	Deployed []string `json:"deployed"`
+	// RolledBack is the seq of the half-applied intent recovery undid,
+	// or 0 if none was pending.
+	RolledBack int64 `json:"rolled_back,omitempty"`
+	// TornJournal/TornState report truncated torn tails (crash mid-write).
+	TornJournal bool `json:"torn_journal,omitempty"`
+	TornState   bool `json:"torn_state,omitempty"`
+}
+
+// Recover replays the journal and state files, rolls back any intent
+// without a commit (appending compensating state ops and a rollback
+// record), verifies the replayed state matches the journal-derived deployed
+// set, and compacts the state file. It must be called once after Open,
+// before any delta is applied; it is idempotent — a crash during recovery
+// is healed by the next Recover.
+func (s *Store) Recover() (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	// Recover may run on a live store after a mid-apply abort; rebuild
+	// everything from disk as a cold start would.
+	s.seq = 0
+	s.pending = nil
+	s.deployed = map[string]bool{}
+
+	var records []Record
+	torn, err := readLines(s.journal, func(raw json.RawMessage) error {
+		var r Record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		if r.Type == "" || r.Seq <= 0 {
+			return fmt.Errorf("missing type/seq")
+		}
+		records = append(records, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.TornJournal = torn
+	rep.Records = len(records)
+
+	// Derive the expected deployed set and the pending intent.
+	expected := map[string]bool{}
+	intents := map[int64]*Record{}
+	var pending *Record
+	for i := range records {
+		r := &records[i]
+		if r.Seq <= s.seq {
+			return nil, fmt.Errorf("%w: non-increasing seq %d", ErrJournalCorrupt, r.Seq)
+		}
+		s.seq = r.Seq
+		switch r.Type {
+		case RecIntent:
+			if pending != nil {
+				return nil, fmt.Errorf("%w: intent %d while intent %d still pending", ErrJournalCorrupt, r.Seq, pending.Seq)
+			}
+			intents[r.Seq] = r
+			pending = r
+		case RecCommit, RecRollback:
+			in := intents[r.Intent]
+			if in == nil {
+				return nil, fmt.Errorf("%w: %s %d references unknown intent %d", ErrJournalCorrupt, r.Type, r.Seq, r.Intent)
+			}
+			if pending == nil || pending.Seq != r.Intent {
+				return nil, fmt.Errorf("%w: %s %d for non-pending intent %d", ErrJournalCorrupt, r.Type, r.Seq, r.Intent)
+			}
+			if r.Type == RecCommit {
+				expected = map[string]bool{}
+				for _, k := range in.Next {
+					expected[k] = true
+				}
+			}
+			pending = nil
+		case RecReject, RecFailure:
+			// Informational; no state impact.
+		default:
+			return nil, fmt.Errorf("%w: unknown record type %q", ErrJournalCorrupt, r.Type)
+		}
+	}
+
+	// Replay the state op log.
+	state := map[string]bool{}
+	torn, err = readLines(s.state, func(raw json.RawMessage) error {
+		var op stateOp
+		if err := json.Unmarshal(raw, &op); err != nil {
+			return err
+		}
+		switch op.Do {
+		case "create":
+			state[op.Key] = true
+		case "drop":
+			delete(state, op.Key)
+		default:
+			return fmt.Errorf("bad op %q", op.Do)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.TornState = torn
+
+	if pending != nil {
+		// Half-applied delta: the crash hit between intent and commit.
+		// Compensate back to prev, verify, journal the rollback.
+		prev := map[string]bool{}
+		for _, k := range pending.Prev {
+			prev[k] = true
+		}
+		if !setsEqual(sameKeys(expected), pending.Prev) {
+			return nil, fmt.Errorf("%w: pending intent %d prev set disagrees with committed history", ErrJournalCorrupt, pending.Seq)
+		}
+		// The state must be prev with some prefix of the delta applied;
+		// anything else is corruption, not a crash artifact.
+		if err := s.checkMidApply(state, pending); err != nil {
+			return nil, err
+		}
+		for _, key := range sameKeys(state) {
+			if !prev[key] {
+				if err := writeLine(s.state, stateOp{Do: "drop", Key: key}); err != nil {
+					return nil, err
+				}
+				delete(state, key)
+			}
+		}
+		for _, key := range pending.Prev {
+			if !state[key] {
+				if err := writeLine(s.state, stateOp{Do: "create", Key: key}); err != nil {
+					return nil, err
+				}
+				state[key] = true
+			}
+		}
+		s.seq++
+		if err := writeLine(s.journal, Record{
+			Seq: s.seq, Type: RecRollback, Intent: pending.Seq, At: s.clock().UTC().Format(time.RFC3339Nano),
+		}); err != nil {
+			return nil, err
+		}
+		rep.RolledBack = pending.Seq
+		expected = prev
+	}
+
+	if !setsEqual(sameKeys(state), sameKeys(expected)) {
+		return nil, fmt.Errorf("%w: replayed state %v disagrees with journal-derived set %v",
+			ErrJournalCorrupt, sameKeys(state), sameKeys(expected))
+	}
+
+	s.deployed = state
+	rep.Deployed = s.Deployed()
+	if err := s.compactState(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// checkMidApply verifies state is reachable from pending.Prev by applying a
+// subset of pending's drops (removals) and creates (additions).
+func (s *Store) checkMidApply(state map[string]bool, pending *Record) error {
+	prev := map[string]bool{}
+	for _, k := range pending.Prev {
+		prev[k] = true
+	}
+	creates := map[string]bool{}
+	for _, k := range pending.Creates {
+		creates[k] = true
+	}
+	drops := map[string]bool{}
+	for _, k := range pending.Drops {
+		drops[k] = true
+	}
+	for k := range state {
+		if !prev[k] && !creates[k] {
+			return fmt.Errorf("%w: mid-apply state holds %q, not in prev or creates of intent %d", ErrJournalCorrupt, k, pending.Seq)
+		}
+	}
+	for k := range prev {
+		if !state[k] && !drops[k] {
+			return fmt.Errorf("%w: mid-apply state lost %q, not in drops of intent %d", ErrJournalCorrupt, k, pending.Seq)
+		}
+	}
+	return nil
+}
+
+// compactState atomically rewrites the state op log as a plain snapshot
+// (one create per deployed key), bounding its growth across restarts.
+func (s *Store) compactState() error {
+	path := filepath.Join(s.dir, "state.jsonl")
+	tmp, err := os.CreateTemp(s.dir, "state-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	for _, key := range s.Deployed() {
+		if err := writeLine(tmp, stateOp{Do: "create", Key: key}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	old := s.state
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.state = f
+	old.Close()
+	return nil
+}
+
+// ApplyDelta runs the full crash-safe protocol for one accepted plan:
+// intent (fsync) → per-op state appends (each fsync'd) → commit (fsync).
+// hook, if non-nil, runs once after the intent is durable (opsDone 0) and
+// again after every applied op with the count of ops done so far; a hook
+// error aborts exactly as a crash at that point would (the caller should
+// then Recover). Prev must equal the current deployed set.
+func (s *Store) ApplyDelta(prev, next, creates, drops []string, guardrail *drift.GuardrailReport, hook func(opsDone int) error) error {
+	if s.pending != nil {
+		return fmt.Errorf("service: delta already in progress")
+	}
+	if !setsEqual(s.Deployed(), prev) {
+		return fmt.Errorf("service: delta prev %v does not match deployed %v", prev, s.Deployed())
+	}
+	s.seq++
+	intent := Record{
+		Seq: s.seq, Type: RecIntent, At: s.clock().UTC().Format(time.RFC3339Nano),
+		Prev: sortedCopy(prev), Next: sortedCopy(next),
+		Creates: sortedCopy(creates), Drops: sortedCopy(drops),
+		Guardrail: guardrail,
+	}
+	if err := writeLine(s.journal, intent); err != nil {
+		return err
+	}
+	s.pending = &intent
+	if hook != nil {
+		if err := hook(0); err != nil {
+			return err
+		}
+	}
+	done := 0
+	step := func(op stateOp) error {
+		if err := writeLine(s.state, op); err != nil {
+			return err
+		}
+		if op.Do == "create" {
+			s.deployed[op.Key] = true
+		} else {
+			delete(s.deployed, op.Key)
+		}
+		done++
+		if hook != nil {
+			if err := hook(done); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, key := range intent.Drops {
+		if err := step(stateOp{Do: "drop", Key: key}); err != nil {
+			return err
+		}
+	}
+	for _, key := range intent.Creates {
+		if err := step(stateOp{Do: "create", Key: key}); err != nil {
+			return err
+		}
+	}
+	s.seq++
+	if err := writeLine(s.journal, Record{
+		Seq: s.seq, Type: RecCommit, Intent: intent.Seq, At: s.clock().UTC().Format(time.RFC3339Nano),
+	}); err != nil {
+		return err
+	}
+	s.pending = nil
+	return nil
+}
+
+// Reject journals a guardrail-rejected delta (nothing was applied). The
+// report carries the violating queries.
+func (s *Store) Reject(creates, drops []string, guardrail *drift.GuardrailReport) error {
+	s.seq++
+	return writeLine(s.journal, Record{
+		Seq: s.seq, Type: RecReject, At: s.clock().UTC().Format(time.RFC3339Nano),
+		Prev: s.Deployed(), Creates: sortedCopy(creates), Drops: sortedCopy(drops),
+		Guardrail: guardrail,
+	})
+}
+
+// Failure journals a re-selection failure. Worker panics keep their
+// structured op/value so chaos runs are diagnosable from the journal alone.
+func (s *Store) Failure(err error, panicOp, panicValue string) error {
+	s.seq++
+	return writeLine(s.journal, Record{
+		Seq: s.seq, Type: RecFailure, At: s.clock().UTC().Format(time.RFC3339Nano),
+		Err: err.Error(), PanicOp: panicOp, PanicValue: panicValue,
+	})
+}
+
+// Records re-reads the full journal (for inspection and tests).
+func (s *Store) Records() ([]Record, error) {
+	var out []Record
+	_, err := readLines(s.journal, func(raw json.RawMessage) error {
+		var r Record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	})
+	// Re-seek to the end for subsequent appends.
+	if _, serr := s.journal.Seek(0, 2); serr != nil && err == nil {
+		err = serr
+	}
+	return out, err
+}
+
+func sortedCopy(keys []string) []string {
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	return out
+}
+
+func sameKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func setsEqual(a, b []string) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

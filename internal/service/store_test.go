@@ -1,0 +1,334 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/drift"
+)
+
+var testClock = func() time.Time {
+	return time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir, testClock)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func mustRecover(t *testing.T, s *Store) *RecoveryReport {
+	t.Helper()
+	rep, err := s.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return rep
+}
+
+func wantDeployed(t *testing.T, s *Store, want ...string) {
+	t.Helper()
+	got := s.Deployed()
+	if !setsEqual(got, want) {
+		t.Fatalf("deployed = %v, want %v", got, want)
+	}
+}
+
+func TestStoreApplyCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	defer s.Close()
+	mustRecover(t, s)
+	gr := &drift.GuardrailReport{Epsilon: 0.05, HeavyK: 3}
+	if err := s.ApplyDelta(nil, []string{"1,2", "3"}, []string{"1,2", "3"}, nil, gr, nil); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	wantDeployed(t, s, "1,2", "3")
+	if err := s.ApplyDelta([]string{"1,2", "3"}, []string{"3", "4"}, []string{"4"}, []string{"1,2"}, gr, nil); err != nil {
+		t.Fatalf("second ApplyDelta: %v", err)
+	}
+	wantDeployed(t, s, "3", "4")
+
+	recs, err := s.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	types := []string{}
+	for _, r := range recs {
+		types = append(types, r.Type)
+	}
+	want := []string{RecIntent, RecCommit, RecIntent, RecCommit}
+	if fmt.Sprint(types) != fmt.Sprint(want) {
+		t.Fatalf("record types %v, want %v", types, want)
+	}
+	if recs[0].Guardrail == nil || recs[0].Guardrail.Epsilon != 0.05 {
+		t.Fatal("intent lost its guardrail evidence")
+	}
+
+	// Restart: recovery reproduces the deployed set bit-identically.
+	s.Close()
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	rep := mustRecover(t, s2)
+	if rep.RolledBack != 0 {
+		t.Fatalf("clean restart rolled back intent %d", rep.RolledBack)
+	}
+	wantDeployed(t, s2, "3", "4")
+}
+
+func TestStorePrevMismatchRefused(t *testing.T) {
+	s := openStore(t, t.TempDir())
+	defer s.Close()
+	mustRecover(t, s)
+	if err := s.ApplyDelta([]string{"9"}, []string{"1"}, []string{"1"}, []string{"9"}, nil, nil); err == nil {
+		t.Fatal("ApplyDelta accepted a stale prev set")
+	}
+}
+
+// errAbort simulates a crash: the hook refuses to continue at a chosen
+// point of the apply protocol.
+var errAbort = errors.New("injected crash")
+
+// TestStoreCrashAtEveryApplyState is the acceptance-criteria matrix: abort
+// the protocol before the intent (trivial), after the intent with 0 ops,
+// after each individual op (mid-apply), and after all ops but before the
+// commit. Recovery must always land on exactly prev (rollback) — and with
+// no abort, exactly next (apply). Each scenario is verified both by
+// in-process Recover and by a cold reopen from disk.
+func TestStoreCrashAtEveryApplyState(t *testing.T) {
+	prev := []string{"1,2", "3"}
+	next := []string{"3", "4", "5,6"}
+	creates := []string{"4", "5,6"}
+	drops := []string{"1,2"}
+	totalOps := len(creates) + len(drops)
+
+	for abortAt := 0; abortAt <= totalOps+1; abortAt++ {
+		name := fmt.Sprintf("abort_after_%d_ops", abortAt)
+		if abortAt == totalOps+1 {
+			name = "no_abort"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openStore(t, dir)
+			mustRecover(t, s)
+			// Seed the prev deployment through a committed delta.
+			if err := s.ApplyDelta(nil, prev, prev, nil, nil, nil); err != nil {
+				t.Fatalf("seed: %v", err)
+			}
+			hook := func(opsDone int) error {
+				if opsDone == abortAt {
+					return errAbort
+				}
+				return nil
+			}
+			if abortAt == totalOps+1 {
+				hook = nil
+			}
+			err := s.ApplyDelta(prev, next, creates, drops, nil, hook)
+			if hook != nil && !errors.Is(err, errAbort) {
+				t.Fatalf("ApplyDelta err = %v, want injected crash", err)
+			}
+			if hook == nil && err != nil {
+				t.Fatalf("ApplyDelta: %v", err)
+			}
+
+			want := next
+			if hook != nil {
+				want = prev // any pre-commit crash must roll back fully
+			}
+
+			// In-process recovery (the daemon's own path after an abort).
+			rep := mustRecover(t, s)
+			wantDeployed(t, s, want...)
+			if hook != nil && rep.RolledBack == 0 {
+				t.Fatal("crashed apply was not rolled back")
+			}
+			s.Close()
+
+			// Cold restart from disk (the serve -resume path).
+			s2 := openStore(t, dir)
+			defer s2.Close()
+			mustRecover(t, s2)
+			wantDeployed(t, s2, want...)
+
+			// Idempotence: recovering again changes nothing.
+			mustRecover(t, s2)
+			wantDeployed(t, s2, want...)
+		})
+	}
+}
+
+func TestStoreTornJournalTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustRecover(t, s)
+	if err := s.ApplyDelta(nil, []string{"7"}, []string{"7"}, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A crash mid-write leaves a torn (newline-less, half-JSON) tail.
+	path := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"rec":{"seq":99,"type":"intent","prev":["7"],`)
+	f.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	rep := mustRecover(t, s2)
+	if !rep.TornJournal {
+		t.Fatal("torn tail not reported")
+	}
+	wantDeployed(t, s2, "7")
+}
+
+func TestStoreBitFlipMidJournalRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustRecover(t, s)
+	if err := s.ApplyDelta(nil, []string{"7"}, []string{"7"}, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyDelta([]string{"7"}, []string{"8"}, []string{"8"}, []string{"7"}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0x40 // flip a bit in the first record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	_, err = s2.Recover()
+	if !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("Recover err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+func TestStoreTornStateTailRolledBack(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustRecover(t, s)
+	if err := s.ApplyDelta(nil, []string{"7"}, []string{"7"}, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Crash right after the intent, with a torn state append on top.
+	err := s.ApplyDelta([]string{"7"}, []string{"7", "8"}, []string{"8"}, nil, nil,
+		func(opsDone int) error { return errAbort })
+	if !errors.Is(err, errAbort) {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	statePath := filepath.Join(dir, "state.jsonl")
+	f, err := os.OpenFile(statePath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"rec":{"do":"create","key":"8"}`)
+	f.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	rep := mustRecover(t, s2)
+	if !rep.TornState {
+		t.Fatal("torn state tail not reported")
+	}
+	if rep.RolledBack == 0 {
+		t.Fatal("pending intent not rolled back")
+	}
+	wantDeployed(t, s2, "7")
+}
+
+func TestStoreRejectAndFailureRecords(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustRecover(t, s)
+	gr := &drift.GuardrailReport{
+		Epsilon:    0.01,
+		Violations: []int{4},
+		Queries:    []drift.HeavyQuery{{Query: 4, Violation: true, Deployed: 10, Planned: 20, Ratio: 2}},
+	}
+	if err := s.Reject([]string{"1"}, nil, gr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Failure(errors.New("worker exploded"), "core.Select", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	rep := mustRecover(t, s2)
+	if len(rep.Deployed) != 0 {
+		t.Fatalf("reject/failure records changed the deployed set: %v", rep.Deployed)
+	}
+	recs, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Type != RecReject || recs[1].Type != RecFailure {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[0].Guardrail == nil || len(recs[0].Guardrail.Violations) != 1 || recs[0].Guardrail.Violations[0] != 4 {
+		t.Fatalf("reject record lost its violating query: %+v", recs[0].Guardrail)
+	}
+	if recs[1].PanicOp != "core.Select" || recs[1].PanicValue != "boom" {
+		t.Fatalf("failure record lost panic structure: %+v", recs[1])
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	mustRecover(t, s)
+	cur := []string{}
+	for i := 0; i < 10; i++ {
+		next := []string{fmt.Sprint(i)}
+		if err := s.ApplyDelta(cur, next, next, cur, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	s.Close()
+
+	s2 := openStore(t, dir)
+	mustRecover(t, s2) // compacts
+	s2.Close()
+
+	data, err := os.ReadFile(filepath.Join(dir, "state.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, b := range data {
+		if b == '\n' {
+			lines++
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("compacted state has %d lines, want 1", lines)
+	}
+
+	s3 := openStore(t, dir)
+	defer s3.Close()
+	mustRecover(t, s3)
+	wantDeployed(t, s3, "9")
+}

@@ -45,6 +45,14 @@ var spillMagic = [8]byte{'W', 'I', 'F', 'S', 'P', 'I', 'L', '1'}
 
 var errRefSpill = errors.New("whatif: table spill requires the flat backend")
 
+// ErrSpillCorrupt tags every way a spill file can fail structural
+// verification — truncation, checksum mismatch, bad magic, sentinel pair
+// keys, trailing bytes. Callers (fleet's TableBudget) classify restore
+// failures with errors.Is(err, ErrSpillCorrupt) and degrade to a source
+// rebuild instead of failing the tenant: corruption costs performance,
+// never correctness. No table entry is applied before verification passes.
+var ErrSpillCorrupt = errors.New("whatif: spill file corrupt")
+
 // WriteTables serializes the optimizer's cost tables to w in the spill format
 // and returns the number of bytes written. The tables are left intact; pair
 // EvictTables after a successful write to free them (or use SpillTables,
@@ -146,19 +154,19 @@ func (o *Optimizer) ReadTables(r io.Reader) error {
 		return fmt.Errorf("whatif: reading spill: %w", err)
 	}
 	if len(buf) < len(spillMagic)+8 {
-		return errors.New("whatif: spill file truncated")
+		return fmt.Errorf("%w: truncated header", ErrSpillCorrupt)
 	}
 	payload, trailer := buf[:len(buf)-8], buf[len(buf)-8:]
 	h := fnv.New64a()
 	h.Write(payload)
 	if got, want := h.Sum64(), binary.LittleEndian.Uint64(trailer); got != want {
-		return fmt.Errorf("whatif: spill checksum mismatch: %#x != %#x", got, want)
+		return fmt.Errorf("%w: checksum mismatch: %#x != %#x", ErrSpillCorrupt, got, want)
 	}
 	c := spillCursor{buf: payload}
 	var magic [8]byte
 	copy(magic[:], c.take(8))
 	if magic != spillMagic {
-		return fmt.Errorf("whatif: bad spill magic %q", magic[:])
+		return fmt.Errorf("%w: bad magic %q", ErrSpillCorrupt, magic[:])
 	}
 
 	t := o.flat
@@ -183,10 +191,10 @@ func (o *Optimizer) ReadTables(r io.Reader) error {
 		}
 	}
 	if c.err != nil {
-		return fmt.Errorf("whatif: spill file truncated: %w", c.err)
+		return fmt.Errorf("%w: truncated: %v", ErrSpillCorrupt, c.err)
 	}
 	if len(c.buf) != c.off {
-		return fmt.Errorf("whatif: %d trailing bytes in spill payload", len(c.buf)-c.off)
+		return fmt.Errorf("%w: %d trailing bytes in payload", ErrSpillCorrupt, len(c.buf)-c.off)
 	}
 	return nil
 }
@@ -196,7 +204,7 @@ func (o *Optimizer) ReadTables(r io.Reader) error {
 func (s *flatShard) readEntries(c *spillCursor) error {
 	n := int(c.u32())
 	if c.err != nil {
-		return fmt.Errorf("whatif: spill file truncated: %w", c.err)
+		return fmt.Errorf("%w: truncated: %v", ErrSpillCorrupt, c.err)
 	}
 	if n > 0 {
 		s.reserve(n)
@@ -205,10 +213,10 @@ func (s *flatShard) readEntries(c *spillCursor) error {
 		key := c.u64()
 		bits := c.u64()
 		if c.err != nil {
-			return fmt.Errorf("whatif: spill file truncated: %w", c.err)
+			return fmt.Errorf("%w: truncated: %v", ErrSpillCorrupt, c.err)
 		}
 		if key == emptyKey || key == tombKey {
-			return fmt.Errorf("whatif: sentinel pair key %#x in spill file", key)
+			return fmt.Errorf("%w: sentinel pair key %#x", ErrSpillCorrupt, key)
 		}
 		s.put(int(key>>32), key, math.Float64frombits(bits))
 	}

@@ -22,10 +22,10 @@ func FuzzIndexKeyRoundTrip(f *testing.F) {
 	f.Add(",")    // empty components
 	f.Add("1,,2") // empty component between valid IDs
 	f.Add(",1")
-	f.Add("10,2") // multi-digit vs lexicographic
+	f.Add("10,2")              // multi-digit vs lexicographic
 	f.Add("0,1,2,3,4,5,6,7,8") // max-width: a full wide-table key
 	f.Add("-1")
-	f.Add("01") // non-canonical digits must not round-trip to a different key
+	f.Add("01")                       // non-canonical digits must not round-trip to a different key
 	f.Add("999999999999999999999999") // overflow
 	f.Fuzz(func(t *testing.T, key string) {
 		k, err := ParseIndexKey(w, key)
@@ -56,11 +56,11 @@ func FuzzIndexKeyRoundTrip(f *testing.F) {
 // the tie-break contract the interned selector relies on to match the
 // string-keyed reference bit for bit.
 func FuzzCompareIndexKeys(f *testing.F) {
-	f.Add([]byte{1, 2}, []byte{1, 2, 3})   // proper prefix
-	f.Add([]byte{10, 2}, []byte{2, 10})    // multi-digit vs lexicographic
-	f.Add([]byte{9}, []byte{10})           // "9" > "10" lexicographically
-	f.Add([]byte{100, 1}, []byte{100, 1})  // equal
-	f.Add([]byte{255, 0}, []byte{0, 255})  // extremes
+	f.Add([]byte{1, 2}, []byte{1, 2, 3})  // proper prefix
+	f.Add([]byte{10, 2}, []byte{2, 10})   // multi-digit vs lexicographic
+	f.Add([]byte{9}, []byte{10})          // "9" > "10" lexicographically
+	f.Add([]byte{100, 1}, []byte{100, 1}) // equal
+	f.Add([]byte{255, 0}, []byte{0, 255}) // extremes
 	f.Fuzz(func(t *testing.T, ab, bb []byte) {
 		a := Index{Attrs: attrsFromBytes(ab)}
 		b := Index{Attrs: attrsFromBytes(bb)}
